@@ -1,0 +1,71 @@
+package timekeeping
+
+// One testing.B benchmark per paper table/figure (plus the ablations).
+// Each benchmark regenerates its experiment end to end at a reduced
+// simulation scale over a representative benchmark subset, so
+// `go test -bench=.` exercises every reproduction path in minutes. Use
+// cmd/tkexp for full-scale numbers.
+
+import (
+	"testing"
+
+	"timekeeping/internal/experiments"
+)
+
+// benchRunner returns a reduced-scale runner. Scale and subset are fixed
+// so -benchtime comparisons are meaningful.
+func benchRunner() *experiments.Runner {
+	r := experiments.NewRunner()
+	r.Opts.WarmupRefs = 20_000
+	r.Opts.MeasureRefs = 80_000
+	r.Benches = []string{"eon", "twolf", "vpr", "ammp", "swim", "mcf", "facerec", "gcc"}
+	return r
+}
+
+// runExperiment drives one experiment per iteration with a fresh runner
+// (no memoisation across iterations, so the work is real).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tables := exp.Run(r)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFigure1(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFigure2(b *testing.B)      { runExperiment(b, "fig2") }
+func BenchmarkFigure4(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFigure7(b *testing.B)      { runExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFigure13(b *testing.B)     { runExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)     { runExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkFigure19(b *testing.B)     { runExperiment(b, "fig19") }
+func BenchmarkFigure20(b *testing.B)     { runExperiment(b, "fig20") }
+func BenchmarkFigure21(b *testing.B)     { runExperiment(b, "fig21") }
+func BenchmarkFigure22(b *testing.B)     { runExperiment(b, "fig22") }
+
+func BenchmarkAblateTableSize(b *testing.B)    { runExperiment(b, "ablate-table") }
+func BenchmarkAblateIndexSplit(b *testing.B)   { runExperiment(b, "ablate-mn") }
+func BenchmarkAblateVictimFilter(b *testing.B) { runExperiment(b, "ablate-victim") }
+func BenchmarkAblateLiveScale(b *testing.B)    { runExperiment(b, "ablate-scale") }
+func BenchmarkAblateLiveTimeRes(b *testing.B)  { runExperiment(b, "ablate-ltres") }
+func BenchmarkAblateSWPrefetch(b *testing.B)   { runExperiment(b, "ablate-swpf") }
+
+func BenchmarkExtDecay(b *testing.B)        { runExperiment(b, "ext-decay") }
+func BenchmarkExtAdaptive(b *testing.B)     { runExperiment(b, "ext-adaptive") }
+func BenchmarkExtNextLine(b *testing.B)     { runExperiment(b, "ext-nextline") }
+func BenchmarkExtReloadFilter(b *testing.B) { runExperiment(b, "ext-reloadfilter") }

@@ -1,0 +1,103 @@
+// Command tkexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tkexp [flags] all            # every experiment, in paper order
+//	tkexp [flags] fig8 fig13     # specific experiments
+//	tkexp -list                  # list experiment IDs
+//
+// Flags scale the simulations (-warmup, -refs) and restrict the benchmark
+// set (-benches gcc,mcf,ammp).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"timekeeping/internal/experiments"
+	"timekeeping/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		warmup  = flag.Uint64("warmup", 0, "warm-up references per run (0 = default)")
+		refs    = flag.Uint64("refs", 0, "measured references per run (0 = default)")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 26)")
+		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tkexp [flags] all | <experiment-id>... (see tkexp -list)")
+		os.Exit(2)
+	}
+
+	runner := experiments.NewRunner()
+	if *warmup > 0 {
+		runner.Opts.WarmupRefs = *warmup
+	}
+	if *refs > 0 {
+		runner.Opts.MeasureRefs = *refs
+	}
+	if *seed > 0 {
+		runner.Opts.Seed = *seed
+	}
+	if *benches != "" {
+		var bs []string
+		for _, b := range strings.Split(*benches, ",") {
+			b = strings.TrimSpace(b)
+			if _, err := workload.Profile(b); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			bs = append(bs, b)
+		}
+		runner.Benches = bs
+	}
+
+	var todo []experiments.Experiment
+	switch {
+	case len(ids) == 1 && ids[0] == "all":
+		todo = experiments.All()
+	case len(ids) == 1 && ids[0] == "ablations":
+		todo = experiments.Ablations()
+	default:
+		for _, id := range ids {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables := e.Run(runner)
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

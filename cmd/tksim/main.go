@@ -1,0 +1,113 @@
+// Command tksim runs a single simulation configuration and prints IPC,
+// miss and timekeeping statistics — the equivalent of one SimpleScalar
+// invocation in the paper's methodology.
+//
+// Usage:
+//
+//	tksim -bench mcf
+//	tksim -bench twolf -victim decay
+//	tksim -bench ammp -prefetch timekeeping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timekeeping/internal/sim"
+	"timekeeping/internal/trace"
+	"timekeeping/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark name (see workload.Names)")
+		traceIn  = flag.String("trace", "", "drive the simulation from a saved trace file instead of a workload")
+		victim   = flag.String("victim", "", "victim cache filter: none | collins | decay | adaptive | reload")
+		pf       = flag.String("prefetch", "", "prefetcher: timekeeping | dbcp | nextline")
+		perfect  = flag.Bool("perfect", false, "eliminate all non-cold L1 misses (Figure 1 limit)")
+		warmup   = flag.Uint64("warmup", 0, "warm-up references (0 = default)")
+		refs     = flag.Uint64("refs", 0, "measured references (0 = default)")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		track    = flag.Bool("track", true, "attach the timekeeping tracker")
+		dropSWPF = flag.Bool("drop-swprefetch", false, "ignore compiler software prefetches")
+	)
+	flag.Parse()
+
+	opt := sim.Default()
+	opt.VictimFilter = sim.VictimFilter(*victim)
+	opt.Prefetcher = sim.Prefetcher(*pf)
+	if *pf == "timekeeping" {
+		opt.Prefetcher = sim.PrefetchTK
+	}
+	opt.Hier.PerfectL1 = *perfect
+	opt.Track = *track
+	opt.DropSWPrefetch = *dropSWPF
+	if *warmup > 0 {
+		opt.WarmupRefs = *warmup
+	}
+	if *refs > 0 {
+		opt.MeasureRefs = *refs
+	}
+	if *seed > 0 {
+		opt.Seed = *seed
+	}
+
+	var res sim.Result
+	var err error
+	if *traceIn != "" {
+		f, ferr := os.Open(*traceIn)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rd, rerr := trace.NewReader(f)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		res, err = sim.RunStream(*traceIn, rd, opt)
+		if err == nil && rd.Err() != nil {
+			err = rd.Err()
+		}
+	} else {
+		spec, serr := workload.Profile(*bench)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+			fmt.Fprintf(os.Stderr, "known benchmarks: %v\n", workload.Names())
+			os.Exit(2)
+		}
+		res, err = sim.Run(spec, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("bench        %s\n", res.Bench)
+	fmt.Printf("IPC          %.4f\n", res.CPU.IPC)
+	fmt.Printf("instructions %d\n", res.CPU.Insts)
+	fmt.Printf("cycles       %d\n", res.CPU.Cycles)
+	fmt.Printf("refs         %d (loads %d, stores %d)\n", res.CPU.Refs, res.CPU.Loads, res.CPU.Stores)
+	s := res.Hier
+	fmt.Printf("L1 accesses  %d  hits %d  misses %d (%.2f%%)\n", s.Accesses, s.Hits, s.Misses, 100*s.MissRate())
+	fmt.Printf("miss classes cold %d  conflict %d  capacity %d\n", s.ColdMisses, s.ConflMiss, s.CapMiss)
+	fmt.Printf("L2           hits %d  misses %d\n", s.L2Hits, s.L2Misses)
+	if res.Victim != nil {
+		v := res.Victim
+		fmt.Printf("victim cache offered %d admitted %d hits %d (fill %.4f/cycle)\n",
+			v.Offered, v.Admitted, v.Hits, res.VictimFillPerCycle())
+	}
+	if res.PFTimeliness != nil {
+		fmt.Printf("prefetch     issued %d  addr accuracy %.3f  coverage %.3f\n",
+			res.PFIssued, res.PFAddrAcc, res.PFCoverage)
+	}
+	if res.Tracker != nil {
+		m := res.Tracker
+		fmt.Printf("generations  %d  mean live %.0f  mean dead %.0f cycles\n",
+			m.Generations, m.Live.Mean(), m.Dead.Mean())
+		fmt.Printf("zero-live    accuracy %.3f coverage %.3f\n", m.ZeroLive.Accuracy(), m.ZeroLive.Coverage())
+		fmt.Printf("live-pred    accuracy %.3f coverage %.3f\n", m.LivePred.Accuracy(), m.LivePred.PredictionRate())
+	}
+}

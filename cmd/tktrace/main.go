@@ -1,0 +1,146 @@
+// Command tktrace generates, inspects and round-trips workload reference
+// traces in the repository's binary trace format.
+//
+// Usage:
+//
+//	tktrace -gen -bench swim -n 100000 -o swim.trace
+//	tktrace -info swim.trace
+//	tktrace -dump swim.trace | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timekeeping/internal/trace"
+	"timekeeping/internal/workload"
+)
+
+func main() {
+	var (
+		gen      = flag.Bool("gen", false, "generate a trace")
+		bench    = flag.String("bench", "gcc", "benchmark to generate from")
+		n        = flag.Uint64("n", 100000, "references to generate")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		out      = flag.String("o", "", "output file for -gen")
+		info     = flag.String("info", "", "print summary statistics of a trace file")
+		dump     = flag.String("dump", "", "print a trace file as text")
+		limit    = flag.Uint64("limit", 20, "max records to -dump")
+		profiles = flag.Bool("profiles", false, "print the composition of every benchmark analog")
+	)
+	flag.Parse()
+
+	switch {
+	case *profiles:
+		for _, name := range workload.Names() {
+			spec := workload.MustProfile(name)
+			fmt.Print(spec.Describe())
+		}
+
+	case *gen:
+		if *out == "" {
+			fatal(fmt.Errorf("tktrace: -gen requires -o"))
+		}
+		spec, err := workload.Profile(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		s := spec.Stream(*seed)
+		var r trace.Ref
+		for i := uint64(0); i < *n; i++ {
+			if !s.Next(&r) {
+				break
+			}
+			if err := w.Write(r); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d references to %s\n", *n, *out)
+
+	case *info != "":
+		rd, f := open(*info)
+		defer f.Close()
+		var r trace.Ref
+		var refs, loads, stores, pfs, deps, insts uint64
+		minA, maxA := ^uint64(0), uint64(0)
+		for rd.Next(&r) {
+			refs++
+			insts += uint64(r.Gap) + 1
+			switch r.Kind {
+			case trace.Load:
+				loads++
+			case trace.Store:
+				stores++
+			case trace.SWPrefetch:
+				pfs++
+			}
+			if r.DepPrev {
+				deps++
+			}
+			if r.Addr < minA {
+				minA = r.Addr
+			}
+			if r.Addr > maxA {
+				maxA = r.Addr
+			}
+		}
+		if err := rd.Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("references   %d (loads %d, stores %d, sw-prefetch %d)\n", refs, loads, stores, pfs)
+		fmt.Printf("instructions %d\n", insts)
+		fmt.Printf("dependent    %d (%.1f%%)\n", deps, 100*float64(deps)/float64(max(refs, 1)))
+		fmt.Printf("address span %#x - %#x\n", minA, maxA)
+
+	case *dump != "":
+		rd, f := open(*dump)
+		defer f.Close()
+		var r trace.Ref
+		for i := uint64(0); i < *limit && rd.Next(&r); i++ {
+			dep := ""
+			if r.DepPrev {
+				dep = " dep"
+			}
+			fmt.Printf("%-10s %#012x pc=%#x gap=%d%s\n", r.Kind, r.Addr, r.PC, r.Gap, dep)
+		}
+		if err := rd.Err(); err != nil {
+			fatal(err)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func open(path string) (*trace.Reader, *os.File) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	return rd, f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package timekeeping is a from-scratch Go reproduction of "Timekeeping
+// in the Memory System: Predicting and Optimizing Memory Behavior" (Hu,
+// Kaxiras, Martonosi — ISCA 2002).
+//
+// The implementation lives under internal/: a trace-driven memory-system
+// simulator (internal/cpu, internal/hier, internal/cache, internal/bus,
+// internal/dram), the paper's timekeeping metrics and predictors
+// (internal/core), the two proposed mechanisms (internal/victim,
+// internal/prefetch), synthetic SPEC2000 analog workloads
+// (internal/workload), and an experiment harness that regenerates every
+// table and figure of the paper's evaluation (internal/experiments).
+//
+// Entry points: the tkexp, tksim and tktrace commands under cmd/, and the
+// runnable walkthroughs under examples/. bench_test.go at the repository
+// root exposes one testing.B benchmark per paper table/figure.
+package timekeeping

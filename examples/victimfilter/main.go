@@ -1,0 +1,43 @@
+// Victim-filter demo (Section 4.2): run a conflict-heavy workload (the
+// twolf analog) under four victim-cache policies — none, unfiltered,
+// Collins extra-tag filter, and the paper's timekeeping dead-time filter —
+// and show that the timekeeping filter keeps the IPC win while slashing
+// fill traffic.
+package main
+
+import (
+	"fmt"
+
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+)
+
+func main() {
+	spec := workload.MustProfile("twolf")
+
+	base := run(spec, sim.VictimOff)
+	fmt.Printf("%-22s IPC %.3f\n", "no victim cache", base.CPU.IPC)
+	fmt.Printf("%-22s %-10s %-12s %-14s %s\n", "victim cache", "IPC", "improvement", "fills/cycle", "victim hits")
+
+	for _, filter := range []sim.VictimFilter{sim.VictimNone, sim.VictimCollins, sim.VictimDecay} {
+		res := run(spec, filter)
+		fmt.Printf("%-22s %-10.3f %-12s %-14.4f %d\n",
+			string(filter),
+			res.CPU.IPC,
+			fmt.Sprintf("%+.1f%%", sim.Improvement(res, base)),
+			res.VictimFillPerCycle(),
+			res.Victim.Hits)
+	}
+
+	fmt.Println("\nThe decay filter admits only victims whose dead time fits in a")
+	fmt.Println("2-bit counter ticked every 512 cycles (< ~1K cycles): conflict")
+	fmt.Println("evictions with imminent reuse. Long-dead capacity victims are")
+	fmt.Println("rejected, so the 32-entry victim cache is not diluted and the")
+	fmt.Println("fill port stays quiet.")
+}
+
+func run(spec workload.Spec, filter sim.VictimFilter) sim.Result {
+	opt := sim.Default()
+	opt.VictimFilter = filter
+	return sim.MustRun(spec, opt)
+}

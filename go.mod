@@ -1,0 +1,3 @@
+module timekeeping
+
+go 1.22

@@ -1,0 +1,104 @@
+package bus
+
+import "testing"
+
+func TestDemandOccupancy(t *testing.T) {
+	b := New(32, 1)
+	start, done := b.Demand(10, 32)
+	if start != 10 || done != 11 {
+		t.Fatalf("transfer = [%d,%d], want [10,11]", start, done)
+	}
+	// 64 bytes over a 32-byte bus: 2 bus cycles.
+	start, done = b.Demand(11, 64)
+	if start != 11 || done != 13 {
+		t.Fatalf("transfer = [%d,%d], want [11,13]", start, done)
+	}
+}
+
+func TestQueueingBehindBusy(t *testing.T) {
+	b := New(32, 1)
+	b.Demand(0, 32) // busy until 1
+	start, done := b.Demand(0, 32)
+	if start != 1 || done != 2 {
+		t.Fatalf("queued transfer = [%d,%d]", start, done)
+	}
+}
+
+func TestClockRatio(t *testing.T) {
+	// The L2/memory bus: 64 bytes wide, 400MHz = 5 CPU cycles per bus cycle.
+	b := New(64, 5)
+	start, done := b.Demand(0, 64)
+	if start != 0 || done != 5 {
+		t.Fatalf("transfer = [%d,%d], want [0,5]", start, done)
+	}
+	_, done = b.Demand(5, 128)
+	if done != 15 {
+		t.Fatalf("128B transfer done = %d, want 15", done)
+	}
+}
+
+func TestZeroByteTransferStillOccupies(t *testing.T) {
+	b := New(32, 1)
+	_, done := b.Demand(0, 0)
+	if done != 1 {
+		t.Fatalf("zero-byte transfer done = %d, want 1 (control occupies a cycle)", done)
+	}
+}
+
+func TestPrefetchQueuesBehindEverything(t *testing.T) {
+	b := New(32, 1)
+	b.Demand(0, 32)
+	start, _ := b.Prefetch(0, 32) // behind the demand
+	if start != 1 {
+		t.Fatalf("prefetch start = %d, want 1", start)
+	}
+	start, _ = b.Prefetch(0, 32) // behind the other prefetch
+	if start != 2 {
+		t.Fatalf("second prefetch start = %d, want 2", start)
+	}
+}
+
+func TestCanPrefetchAdmission(t *testing.T) {
+	b := New(32, 1)
+	if !b.CanPrefetch(0, 4) {
+		t.Fatal("idle bus should admit prefetches")
+	}
+	for i := 0; i < 6; i++ {
+		b.Demand(0, 32) // backlog through cycle 6
+	}
+	if b.CanPrefetch(0, 4) {
+		t.Fatal("backlogged bus should not admit prefetches")
+	}
+	if !b.CanPrefetch(10, 4) {
+		t.Fatal("drained bus should admit prefetches again")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New(32, 1)
+	b.Demand(0, 32)
+	b.Demand(0, 32)
+	b.Prefetch(0, 32)
+	d, p, busy := b.Stats()
+	if d != 2 || p != 1 || busy != 3 {
+		t.Fatalf("stats = %d,%d,%d", d, p, busy)
+	}
+	b.Reset()
+	d, p, busy = b.Stats()
+	if d != 0 || p != 0 || busy != 0 || b.FreeAt() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, args := range [][2]uint64{{0, 1}, {32, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", args[0], args[1])
+				}
+			}()
+			New(args[0], args[1])
+		}()
+	}
+}

@@ -1,0 +1,82 @@
+package cache
+
+import "testing"
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHRFile(4)
+	start := m.Allocate(0x100, 10)
+	if start != 10 {
+		t.Fatalf("start = %d", start)
+	}
+	m.Commit(0x100, 110)
+	done, ok := m.Outstanding(0x100, 50)
+	if !ok || done != 110 {
+		t.Fatalf("outstanding = %d,%v", done, ok)
+	}
+	// After completion the entry retires.
+	if _, ok := m.Outstanding(0x100, 110); ok {
+		t.Fatal("completed entry still outstanding")
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Commit(0x0, 100)
+	m.Commit(0x40, 200)
+	start := m.Allocate(0x80, 50)
+	if start != 100 {
+		t.Fatalf("stalled start = %d, want 100 (earliest completion)", start)
+	}
+	// The earliest entry retired during the stall.
+	if got := m.InFlight(100); got != 1 {
+		t.Fatalf("in flight after stall = %d", got)
+	}
+}
+
+func TestMSHRRetire(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Commit(0x0, 100)
+	m.Commit(0x40, 150)
+	if got := m.InFlight(99); got != 2 {
+		t.Fatalf("in flight = %d", got)
+	}
+	if got := m.InFlight(120); got != 1 {
+		t.Fatalf("in flight = %d", got)
+	}
+	if got := m.InFlight(1000); got != 0 {
+		t.Fatalf("in flight = %d", got)
+	}
+}
+
+func TestMSHRCap(t *testing.T) {
+	if NewMSHRFile(64).Cap() != 64 {
+		t.Fatal("cap wrong")
+	}
+}
+
+func TestMSHRBadCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMSHRFile(0)
+}
+
+func TestMSHRManyStalls(t *testing.T) {
+	m := NewMSHRFile(2)
+	now := uint64(0)
+	for i := 0; i < 100; i++ {
+		block := uint64(i) * 64
+		start := m.Allocate(block, now)
+		if start < now {
+			t.Fatalf("start %d before now %d", start, now)
+		}
+		m.Commit(block, start+100)
+		now = start + 1
+	}
+	// With capacity 2 and latency 100, throughput is ~2 per 100 cycles.
+	if now < 4000 {
+		t.Fatalf("final time %d too small; MSHR limit not enforced", now)
+	}
+}

@@ -1,0 +1,143 @@
+package classify
+
+import (
+	"testing"
+
+	"timekeeping/internal/rng"
+)
+
+func TestColdThenConflict(t *testing.T) {
+	c := New(4)
+	if got := c.Access(1); got != Cold {
+		t.Fatalf("first access = %v", got)
+	}
+	if got := c.Access(1); got != Conflict {
+		t.Fatalf("resident access = %v (a real-cache miss here is conflict)", got)
+	}
+}
+
+func TestCapacityAfterEviction(t *testing.T) {
+	c := New(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3) // evicts 1
+	if got := c.Access(1); got != Capacity {
+		t.Fatalf("re-access of FA-evicted block = %v, want capacity", got)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := New(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 2 is now LRU
+	c.Access(3) // evicts 2
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatal("LRU eviction order wrong")
+	}
+}
+
+func TestLenBounded(t *testing.T) {
+	c := New(8)
+	for i := uint64(0); i < 100; i++ {
+		c.Access(i)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	want := map[MissKind]string{Hit: "hit", Cold: "cold", Conflict: "conflict", Capacity: "capacity", MissKind(9): "invalid"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+// Cross-check against a brute-force FA LRU model on a random stream.
+func TestMatchesBruteForce(t *testing.T) {
+	const capacity = 16
+	c := New(capacity)
+	var fa []uint64 // most recent first
+	seen := map[uint64]bool{}
+	r := rng.New(3)
+	for step := 0; step < 30000; step++ {
+		block := r.Uint64n(64)
+		got := c.Access(block)
+
+		// Brute force.
+		idx := -1
+		for i, b := range fa {
+			if b == block {
+				idx = i
+				break
+			}
+		}
+		var want MissKind
+		switch {
+		case idx >= 0:
+			want = Conflict
+			fa = append(fa[:idx], fa[idx+1:]...)
+			fa = append([]uint64{block}, fa...)
+		case !seen[block]:
+			want = Cold
+			seen[block] = true
+			fa = append([]uint64{block}, fa...)
+		default:
+			want = Capacity
+			fa = append([]uint64{block}, fa...)
+		}
+		if len(fa) > capacity {
+			fa = fa[:capacity]
+		}
+		if got != want {
+			t.Fatalf("step %d block %d: got %v want %v", step, block, got, want)
+		}
+	}
+}
+
+// Conflict misses in a direct-mapped cache with two tags ping-ponging in
+// one set are classified as conflicts because a 1024-block FA cache would
+// have held both.
+func TestPingPongIsConflict(t *testing.T) {
+	c := New(1024)
+	a, b := uint64(0), uint64(1024) // any two distinct blocks
+	c.Access(a)
+	c.Access(b)
+	for i := 0; i < 100; i++ {
+		if got := c.Access(a); got != Conflict {
+			t.Fatalf("ping %d = %v", i, got)
+		}
+		if got := c.Access(b); got != Conflict {
+			t.Fatalf("pong %d = %v", i, got)
+		}
+	}
+}
+
+// A streaming scan over more blocks than the FA capacity produces capacity
+// misses after the first lap.
+func TestStreamIsCapacity(t *testing.T) {
+	c := New(64)
+	for lap := 0; lap < 2; lap++ {
+		for b := uint64(0); b < 128; b++ {
+			got := c.Access(b)
+			if lap == 0 && got != Cold {
+				t.Fatalf("lap 0 block %d = %v", b, got)
+			}
+			if lap == 1 && got != Capacity {
+				t.Fatalf("lap 1 block %d = %v", b, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package clock provides the cycle-time plumbing the paper's hardware
+// relies on: a global cycle counter, the coarse global tick that drives the
+// per-line timekeeping counters (the paper ticks dead-time counters every
+// 512 cycles), and small saturating counters of a given bit width.
+//
+// Tracking the timekeeping metrics "requires little hardware; essentially
+// just coarse-grained simple counters that are ticked periodically (but not
+// necessarily every cycle) from the global cycle counter" — this package is
+// that hardware.
+package clock
+
+// Clock is the global cycle counter of a simulation. The zero value starts
+// at cycle 0 and is ready to use.
+type Clock struct {
+	cycle uint64
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() uint64 { return c.cycle }
+
+// Advance moves the clock forward by n cycles.
+func (c *Clock) Advance(n uint64) { c.cycle += n }
+
+// AdvanceTo moves the clock to the given cycle; it never moves backwards.
+func (c *Clock) AdvanceTo(cycle uint64) {
+	if cycle > c.cycle {
+		c.cycle = cycle
+	}
+}
+
+// Ticker converts cycles into coarse global ticks. Shift is the log2 of the
+// tick period: the paper's victim-filter counters use Shift=9 (512-cycle
+// ticks) and its live-time profiling uses Shift=4 (16-cycle resolution).
+type Ticker struct {
+	Shift uint
+}
+
+// Ticks returns the number of whole ticks elapsed at the given cycle.
+func (t Ticker) Ticks(cycle uint64) uint64 { return cycle >> t.Shift }
+
+// Period returns the tick period in cycles.
+func (t Ticker) Period() uint64 { return 1 << t.Shift }
+
+// CyclesOf converts a tick count back to cycles (the low end of the range
+// the count could represent).
+func (t Ticker) CyclesOf(ticks uint64) uint64 { return ticks << t.Shift }
+
+// SatCounter is an n-bit saturating up-counter, the building block of the
+// paper's per-line hardware (2-bit dead-time counters, 5-bit live-time
+// counters). The zero value is a counter of width 0; construct with
+// NewSatCounter.
+type SatCounter struct {
+	value uint64
+	max   uint64
+}
+
+// NewSatCounter returns a counter that saturates at 2^bits - 1.
+func NewSatCounter(bits uint) SatCounter {
+	if bits == 0 || bits > 63 {
+		panic("clock: SatCounter width must be in [1,63]")
+	}
+	return SatCounter{max: 1<<bits - 1}
+}
+
+// Inc advances the counter by one, saturating at the top.
+func (c *SatCounter) Inc() {
+	if c.value < c.max {
+		c.value++
+	}
+}
+
+// Add advances the counter by n, saturating at the top.
+func (c *SatCounter) Add(n uint64) {
+	if c.value+n < c.value || c.value+n > c.max { // overflow or past max
+		c.value = c.max
+	} else {
+		c.value += n
+	}
+}
+
+// Reset clears the counter to zero (the paper resets on every access).
+func (c *SatCounter) Reset() { c.value = 0 }
+
+// Set forces the counter to v, saturating at the top.
+func (c *SatCounter) Set(v uint64) {
+	if v > c.max {
+		v = c.max
+	}
+	c.value = v
+}
+
+// Value returns the current count.
+func (c *SatCounter) Value() uint64 { return c.value }
+
+// Max returns the saturation value.
+func (c *SatCounter) Max() uint64 { return c.max }
+
+// Saturated reports whether the counter has hit its maximum.
+func (c *SatCounter) Saturated() bool { return c.value == c.max }

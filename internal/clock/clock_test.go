@@ -1,0 +1,124 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should start at 0")
+	}
+	c.Advance(10)
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	c.AdvanceTo(12) // backwards: no-op
+	if c.Now() != 15 {
+		t.Fatalf("AdvanceTo moved clock backwards: %d", c.Now())
+	}
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo = %d", c.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	tk := Ticker{Shift: 9}
+	if tk.Period() != 512 {
+		t.Fatalf("period = %d", tk.Period())
+	}
+	if tk.Ticks(511) != 0 || tk.Ticks(512) != 1 || tk.Ticks(1023) != 1 || tk.Ticks(1024) != 2 {
+		t.Fatal("tick boundaries wrong")
+	}
+	if tk.CyclesOf(3) != 1536 {
+		t.Fatalf("CyclesOf(3) = %d", tk.CyclesOf(3))
+	}
+}
+
+func TestTickerRoundTripProperty(t *testing.T) {
+	f := func(cycle uint64, shift uint8) bool {
+		s := uint(shift % 20)
+		tk := Ticker{Shift: s}
+		ticks := tk.Ticks(cycle)
+		back := tk.CyclesOf(ticks)
+		return back <= cycle && cycle-back < tk.Period()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatCounter(t *testing.T) {
+	c := NewSatCounter(2)
+	if c.Max() != 3 {
+		t.Fatalf("max = %d", c.Max())
+	}
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if c.Value() != 3 || !c.Saturated() {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 || c.Saturated() {
+		t.Fatal("reset failed")
+	}
+	c.Add(2)
+	if c.Value() != 2 {
+		t.Fatalf("Add: %d", c.Value())
+	}
+	c.Add(100)
+	if c.Value() != 3 {
+		t.Fatalf("Add should saturate: %d", c.Value())
+	}
+	c.Set(1)
+	if c.Value() != 1 {
+		t.Fatalf("Set: %d", c.Value())
+	}
+	c.Set(99)
+	if c.Value() != 3 {
+		t.Fatalf("Set should saturate: %d", c.Value())
+	}
+}
+
+func TestSatCounterAddOverflow(t *testing.T) {
+	c := NewSatCounter(63)
+	c.Set(c.Max())
+	c.Add(^uint64(0)) // would wrap; must stay saturated
+	if c.Value() != c.Max() {
+		t.Fatalf("overflow add: %d", c.Value())
+	}
+}
+
+func TestSatCounterBadWidthPanics(t *testing.T) {
+	for _, bits := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSatCounter(%d) did not panic", bits)
+				}
+			}()
+			NewSatCounter(bits)
+		}()
+	}
+}
+
+// Property: a saturating counter never exceeds its max.
+func TestSatCounterNeverExceedsMax(t *testing.T) {
+	f := func(adds []uint16) bool {
+		c := NewSatCounter(5)
+		for _, a := range adds {
+			c.Add(uint64(a))
+			if c.Value() > c.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import "fmt"
+
+// CorrTable is the paper's unified address + live-time predictor (Section
+// 5.2.1, Figure 17): a set-associative correlation table indexed by the
+// per-frame miss history.
+//
+// When block B replaces block A in a cache frame (with D the miss before
+// A), the hardware:
+//
+//  1. updates the entry for history (D, A) with B as A's successor and
+//     lt(A) as A's live-time prediction, and
+//  2. looks up history (A, B) to obtain B's predicted successor C and
+//     predicted live time lt(B), which schedules a prefetch of C at
+//     2 x lt(B) after B's fill.
+//
+// The table index mixes m bits of the truncated tag sum with n bits of the
+// cache set index; using mostly tag bits makes histories from different
+// frames alias constructively ("multiple distinct data structures are
+// traversed similarly"), which is why an 8 KB table competes with a 2 MB
+// DBCP table.
+type CorrTable struct {
+	cfg  CorrConfig
+	sets []corrSet
+
+	lookups uint64
+	hits    uint64
+	stamp   uint64
+}
+
+// CorrConfig sizes a correlation table.
+type CorrConfig struct {
+	// TagSumBits (m) and IndexBits (n) form the table index; the paper's
+	// 8 KB configuration uses m=7, n=1 with 8 ways: 256 sets x 8 entries.
+	TagSumBits uint
+	IndexBits  uint
+	Ways       int
+	// IDBits is the width of the identification tag stored per entry
+	// (matching is on a truncated tag, as in the paper).
+	IDBits uint
+	// LiveShift coarsens stored live times to 2^LiveShift-cycle ticks
+	// (the paper's counters tick coarsely; 16-cycle resolution by
+	// default).
+	LiveShift uint
+	// LiveBits is the stored live-time counter width; values saturate.
+	LiveBits uint
+}
+
+// DefaultCorrConfig is the paper's 8 KB table: 2048 entries of ~4 bytes.
+func DefaultCorrConfig() CorrConfig {
+	return CorrConfig{TagSumBits: 7, IndexBits: 1, Ways: 8, IDBits: 16, LiveShift: 4, LiveBits: 16}
+}
+
+// Validate checks the configuration.
+func (c CorrConfig) Validate() error {
+	if c.TagSumBits+c.IndexBits == 0 || c.TagSumBits+c.IndexBits > 28 {
+		return fmt.Errorf("core: corr table index bits %d out of range", c.TagSumBits+c.IndexBits)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("core: corr table needs >= 1 way")
+	}
+	if c.IDBits == 0 || c.IDBits > 32 {
+		return fmt.Errorf("core: corr table id bits %d out of range", c.IDBits)
+	}
+	if c.LiveBits == 0 || c.LiveBits > 32 {
+		return fmt.Errorf("core: corr table live bits %d out of range", c.LiveBits)
+	}
+	return nil
+}
+
+// Sets returns the number of table sets.
+func (c CorrConfig) Sets() int { return 1 << (c.TagSumBits + c.IndexBits) }
+
+// Entries returns the total entry count.
+func (c CorrConfig) Entries() int { return c.Sets() * c.Ways }
+
+// SizeBytes estimates the hardware budget: id tag + next tag + live-time
+// counter per entry, rounded up to whole bytes.
+func (c CorrConfig) SizeBytes() int {
+	bits := c.IDBits + c.IDBits + c.LiveBits // next tag stored at id width
+	return c.Entries() * int((bits+7)/8)
+}
+
+type corrEntry struct {
+	id    uint32 // identification tag (truncated tag of the resident block)
+	next  uint64 // predicted successor tag (full tag kept for simulation)
+	live  uint32 // coarsened live time
+	used  uint64 // LRU stamp
+	valid bool
+}
+
+type corrSet struct {
+	entries []corrEntry
+}
+
+// NewCorrTable builds a table; it panics on an invalid configuration.
+func NewCorrTable(cfg CorrConfig) *CorrTable {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &CorrTable{cfg: cfg, sets: make([]corrSet, cfg.Sets())}
+	for i := range t.sets {
+		t.sets[i].entries = make([]corrEntry, cfg.Ways)
+	}
+	return t
+}
+
+// Config returns the table configuration.
+func (t *CorrTable) Config() CorrConfig { return t.cfg }
+
+// index mixes the truncated tag sum with cache-index bits (Figure 17).
+func (t *CorrTable) index(prevTag, curTag, cacheSet uint64) int {
+	sum := (prevTag + curTag) & (1<<t.cfg.TagSumBits - 1)
+	idx := sum<<t.cfg.IndexBits | cacheSet&(1<<t.cfg.IndexBits-1)
+	return int(idx)
+}
+
+func (t *CorrTable) idOf(tag uint64) uint32 {
+	return uint32(tag & (1<<t.cfg.IDBits - 1))
+}
+
+// coarsen quantises a live time into the stored counter.
+func (t *CorrTable) coarsen(live uint64) uint32 {
+	v := live >> t.cfg.LiveShift
+	if max := uint64(1)<<t.cfg.LiveBits - 1; v > max {
+		v = max
+	}
+	return uint32(v)
+}
+
+// expand undoes coarsen (to the low edge of the stored tick).
+func (t *CorrTable) expand(live uint32) uint64 {
+	return uint64(live) << t.cfg.LiveShift
+}
+
+// Update records that, in a frame with history (prevTag, curTag) in
+// cacheSet, curTag's generation ended with successor nextTag and live time
+// liveTime — the predictor-update step of Figure 18 (top).
+func (t *CorrTable) Update(prevTag, curTag, cacheSet, nextTag, liveTime uint64) {
+	set := &t.sets[t.index(prevTag, curTag, cacheSet)]
+	id := t.idOf(curTag)
+	t.stamp++
+
+	way := 0
+	var oldest uint64 = ^uint64(0)
+	for w := range set.entries {
+		e := &set.entries[w]
+		if e.valid && e.id == id {
+			way = w
+			oldest = 0
+			break
+		}
+		if !e.valid {
+			way = w
+			oldest = 0
+			break
+		}
+		if e.used < oldest {
+			oldest = e.used
+			way = w
+		}
+	}
+	set.entries[way] = corrEntry{
+		id:    id,
+		next:  nextTag,
+		live:  t.coarsen(liveTime),
+		used:  t.stamp,
+		valid: true,
+	}
+}
+
+// Lookup performs the predictor-access step of Figure 18 (bottom): given
+// the new history (prevTag, curTag), it predicts curTag's successor and
+// live time. ok is false on a table miss (no prediction possible — the
+// paper's coverage).
+func (t *CorrTable) Lookup(prevTag, curTag, cacheSet uint64) (nextTag uint64, liveTime uint64, ok bool) {
+	t.lookups++
+	set := &t.sets[t.index(prevTag, curTag, cacheSet)]
+	id := t.idOf(curTag)
+	for w := range set.entries {
+		e := &set.entries[w]
+		if e.valid && e.id == id {
+			t.stamp++
+			e.used = t.stamp
+			t.hits++
+			return e.next, t.expand(e.live), true
+		}
+	}
+	return 0, 0, false
+}
+
+// HitRate returns the table's lookup hit rate — the address-prediction
+// coverage of Figure 20.
+func (t *CorrTable) HitRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.lookups)
+}
+
+// ResetStats clears the lookup counters (contents preserved).
+func (t *CorrTable) ResetStats() { t.lookups, t.hits = 0, 0 }

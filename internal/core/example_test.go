@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"timekeeping/internal/core"
+)
+
+// The correlation table is trained on per-frame miss histories and
+// predicts both the next block and the current block's live time.
+func ExampleCorrTable() {
+	table := core.NewCorrTable(core.DefaultCorrConfig())
+
+	// In cache set 3, the frame's miss history was (A=0x10, B=0x11); B's
+	// generation ended with live time 320 cycles when C=0x12 replaced it.
+	table.Update(0x10, 0x11, 3, 0x12, 320)
+
+	// Next time the history (A, B) recurs in set 3, predict B's successor
+	// and live time; the prefetch fires at 2x the predicted live time.
+	next, live, ok := table.Lookup(0x10, 0x11, 3)
+	fmt.Println(ok, next == 0x12, live, core.LiveTimeScale*live)
+	// Output: true true 320 640
+}
+
+// The paper's conflict-miss predictors are one-line decision rules over
+// per-line timekeeping metrics.
+func ExampleConflictByReload() {
+	p := core.ConflictByReload{Threshold: core.DefaultReloadThreshold}
+	fmt.Println(p.Predict(8_000))   // reloaded after 8K cycles
+	fmt.Println(p.Predict(800_000)) // reloaded after 800K cycles
+	// Output:
+	// true
+	// false
+}
+
+// A block is predicted dead at twice its previous live time.
+func ExampleDeadByLiveTime() {
+	p := core.DeadByLiveTime{Scale: 2}
+	fmt.Println(p.DeadAt(150))
+	// Output: 300
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"timekeeping/internal/classify"
+	"timekeeping/internal/stats"
+)
+
+// This file packages the paper's on-line predictors as small value types.
+// Each is the decision rule a piece of per-line counter hardware would
+// implement; the Tracker's metrics evaluate their accuracy and coverage
+// offline, and the victim-cache filter and prefetcher use them on-line.
+
+// ConflictByReload predicts that a miss whose reload interval (time since
+// the block's previous generation began) is below Threshold is a conflict
+// miss (Section 4.1, Figure 8). The paper's operating point is 16K cycles:
+// accuracy stays near-perfect out to there, with ~85% coverage.
+type ConflictByReload struct {
+	Threshold uint64
+}
+
+// DefaultReloadThreshold is the Figure 8 knee.
+const DefaultReloadThreshold = 16000
+
+// Predict returns true when the reload interval indicates a conflict.
+func (p ConflictByReload) Predict(reloadInterval uint64) bool {
+	return reloadInterval < p.Threshold
+}
+
+// ConflictByDeadTime predicts that a block evicted after a dead time below
+// Threshold suffered a conflict (Section 4.1, Figure 10). The paper's
+// victim filter uses a 1K-cycle threshold.
+type ConflictByDeadTime struct {
+	Threshold uint64
+}
+
+// DefaultDeadTimeThreshold is the paper's victim-filter threshold: a
+// 2-bit counter ticked every 512 cycles admits dead times of 0-1023.
+const DefaultDeadTimeThreshold = 1024
+
+// Predict returns true when the dead time indicates a conflict.
+func (p ConflictByDeadTime) Predict(deadTime uint64) bool {
+	return deadTime < p.Threshold
+}
+
+// ConflictByZeroLive predicts a conflict when the previous generation had
+// zero live time — a single re-reference bit per line (Section 4.1,
+// Figure 11).
+type ConflictByZeroLive struct{}
+
+// Predict returns true when the previous generation was never hit.
+func (ConflictByZeroLive) Predict(prevZeroLive bool) bool { return prevZeroLive }
+
+// DeadByDecay predicts that a block whose frame has been idle longer than
+// Threshold is dead (Section 5.1.1, Figure 14) — the cache-decay rule. To
+// reach high accuracy the threshold must exceed ~5120 cycles, at which
+// point coverage is only ~50%, which is why the paper moves on to
+// live-time prediction for prefetch scheduling.
+type DeadByDecay struct {
+	Threshold uint64
+}
+
+// Predict returns true when the idle time indicates a dead block.
+func (p DeadByDecay) Predict(idleTime uint64) bool { return idleTime > p.Threshold }
+
+// DeadByLiveTime predicts that a block is dead Scale x its predicted live
+// time after its generation starts (Section 5.1.2, Figure 16). The live
+// time prediction is the block's previous live time, supplied by the
+// correlation table (or a per-block history).
+type DeadByLiveTime struct {
+	// Scale is the safety factor on the predicted live time; the paper
+	// uses 2 ("we declare B to be dead at a time twice its predicted
+	// live time").
+	Scale uint64
+}
+
+// DeadAt returns the time (relative to the generation start) at which the
+// block is predicted dead.
+func (p DeadByLiveTime) DeadAt(predictedLive uint64) uint64 {
+	return p.Scale * predictedLive
+}
+
+// EvalConflictCurve builds the Figure 8/10 accuracy-coverage sweep from
+// per-miss-kind metric histograms: accuracy is the fraction of
+// below-threshold misses that are conflicts, coverage the fraction of all
+// conflict misses captured.
+func EvalConflictCurve(m *Metrics, byReload bool, thresholds []uint64) stats.ThresholdCurve {
+	if byReload {
+		return stats.NewThresholdCurve(m.ReloadByKind[classify.Conflict], m.ReloadByKind[classify.Capacity], thresholds)
+	}
+	return stats.NewThresholdCurve(m.DeadByKind[classify.Conflict], m.DeadByKind[classify.Capacity], thresholds)
+}

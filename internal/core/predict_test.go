@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"timekeeping/internal/classify"
+)
+
+func TestConflictByReload(t *testing.T) {
+	p := ConflictByReload{Threshold: DefaultReloadThreshold}
+	if !p.Predict(8000) {
+		t.Fatal("8K reload should predict conflict")
+	}
+	if p.Predict(100000) {
+		t.Fatal("100K reload should not predict conflict")
+	}
+}
+
+func TestConflictByDeadTime(t *testing.T) {
+	p := ConflictByDeadTime{Threshold: DefaultDeadTimeThreshold}
+	if !p.Predict(500) || p.Predict(2000) {
+		t.Fatal("dead-time predictor thresholds wrong")
+	}
+	if !p.Predict(1023) || p.Predict(1024) {
+		t.Fatal("boundary wrong: 2-bit counter admits 0-1023")
+	}
+}
+
+func TestConflictByZeroLive(t *testing.T) {
+	var p ConflictByZeroLive
+	if !p.Predict(true) || p.Predict(false) {
+		t.Fatal("zero-live predictor wrong")
+	}
+}
+
+func TestDeadByDecay(t *testing.T) {
+	p := DeadByDecay{Threshold: 5120}
+	if p.Predict(5120) || !p.Predict(5121) {
+		t.Fatal("decay threshold boundary wrong")
+	}
+}
+
+func TestDeadByLiveTime(t *testing.T) {
+	p := DeadByLiveTime{Scale: 2}
+	if p.DeadAt(150) != 300 {
+		t.Fatalf("DeadAt = %d", p.DeadAt(150))
+	}
+	if p.DeadAt(0) != 0 {
+		t.Fatal("zero live time should predict immediately dead")
+	}
+}
+
+func TestEvalConflictCurve(t *testing.T) {
+	m := NewMetrics()
+	// Conflicts cluster at short reload intervals, capacity at long.
+	for i := 0; i < 90; i++ {
+		m.ReloadByKind[classify.Conflict].Add(4000)
+		m.ReloadByKind[classify.Capacity].Add(400000)
+	}
+	for i := 0; i < 10; i++ {
+		m.ReloadByKind[classify.Conflict].Add(300000)
+		m.ReloadByKind[classify.Capacity].Add(8000)
+	}
+	curve := EvalConflictCurve(m, true, []uint64{16000, 1000000})
+	if curve.Accuracy[0] != 0.9 {
+		t.Fatalf("accuracy@16K = %v", curve.Accuracy[0])
+	}
+	if curve.Coverage[0] != 0.9 {
+		t.Fatalf("coverage@16K = %v", curve.Coverage[0])
+	}
+	// Everything below a huge threshold: accuracy 50%, coverage 100%.
+	if curve.Accuracy[1] != 0.5 || curve.Coverage[1] != 1 {
+		t.Fatalf("curve@1M = %v/%v", curve.Accuracy[1], curve.Coverage[1])
+	}
+
+	// Dead-time variant uses the dead histograms.
+	m2 := NewMetrics()
+	m2.DeadByKind[classify.Conflict].Add(500)
+	m2.DeadByKind[classify.Capacity].Add(90000)
+	c2 := EvalConflictCurve(m2, false, []uint64{1000})
+	if c2.Accuracy[0] != 1 || c2.Coverage[0] != 1 {
+		t.Fatalf("dead curve = %v/%v", c2.Accuracy[0], c2.Coverage[0])
+	}
+}

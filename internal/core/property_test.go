@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/classify"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/rng"
+)
+
+// TestTrackerInvariantsUnderRandomEvents drives the tracker with random
+// but causally-ordered event sequences and checks structural invariants:
+//
+//   - live time + dead time == generation time for every generation;
+//   - live time is zero exactly when the generation had no hits;
+//   - histogram totals match the generation count;
+//   - the live-time predictor never reports more correct predictions than
+//     predictions, nor more predictions than events.
+func TestTrackerInvariantsUnderRandomEvents(t *testing.T) {
+	r := rng.New(123)
+	f := func(seed uint16) bool {
+		r.Reseed(uint64(seed))
+		const frames = 8
+		tr := NewTracker(frames)
+		ok := true
+		tr.OnGeneration = func(g Generation) {
+			if g.LiveTime+g.DeadTime != g.GenTime() {
+				ok = false
+			}
+			// No hits implies zero live time (the converse does not hold:
+			// a hit in the fill cycle gives live time 0 with hits > 0).
+			if g.Hits == 0 && g.LiveTime != 0 {
+				ok = false
+			}
+		}
+
+		resident := make([]uint64, frames)
+		now := uint64(1)
+		for step := 0; step < 500; step++ {
+			now += r.Uint64n(300)
+			frame := r.Intn(frames)
+			if resident[frame] != 0 && r.Bool(0.6) {
+				tr.OnAccess(&hier.AccessEvent{
+					Now: now, Frame: frame, Hit: true,
+					Addr: resident[frame], Block: resident[frame],
+				})
+				continue
+			}
+			block := (r.Uint64n(32) + 1) * 0x100
+			ev := &hier.AccessEvent{
+				Now: now, Frame: frame,
+				Addr: block, Block: block,
+				MissKind: classify.MissKind(2 + r.Intn(2)), // conflict or capacity
+			}
+			if resident[frame] != 0 {
+				ev.Victim = cache.Victim{Valid: true, Addr: resident[frame]}
+			}
+			tr.OnAccess(ev)
+			resident[frame] = block
+		}
+
+		m := tr.Metrics()
+		if m.Live.Total() != m.Generations || m.Dead.Total() != m.Generations {
+			return false
+		}
+		if m.LivePred.Correct > m.LivePred.Predictions || m.LivePred.Predictions > m.LivePred.Events {
+			return false
+		}
+		if m.ZeroLive.Correct > m.ZeroLive.Predictions || m.ZeroLive.Predictions > m.ZeroLive.Events {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrackerToleratesTimeInversions replays events whose timestamps jump
+// backwards (out-of-order issue): no interval may underflow into a huge
+// uint64.
+func TestTrackerToleratesTimeInversions(t *testing.T) {
+	tr := NewTracker(2)
+	tr.OnAccess(&hier.AccessEvent{Now: 1000, Frame: 0, Addr: 0x100, Block: 0x100, MissKind: classify.Capacity})
+	tr.OnAccess(&hier.AccessEvent{Now: 400, Frame: 0, Addr: 0x100, Block: 0x100, Hit: true}) // inverted hit
+	tr.OnAccess(&hier.AccessEvent{
+		Now: 500, Frame: 0, Addr: 0x200, Block: 0x200,
+		MissKind: classify.Capacity,
+		Victim:   cache.Victim{Valid: true, Addr: 0x100},
+	})
+	m := tr.Metrics()
+	if m.Live.Max() > 10_000 || m.Dead.Max() > 10_000 {
+		t.Fatalf("interval underflow: live max %d dead max %d", m.Live.Max(), m.Dead.Max())
+	}
+}

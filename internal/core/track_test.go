@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/classify"
+	"timekeeping/internal/hier"
+)
+
+// feed drives the tracker directly with synthetic events.
+func missEvent(now, block uint64, frame int, kind classify.MissKind, victim uint64, victimValid bool) *hier.AccessEvent {
+	return &hier.AccessEvent{
+		Now: now, Addr: block, Block: block, Frame: frame,
+		MissKind: kind,
+		Victim:   cache.Victim{Valid: victimValid, Addr: victim},
+	}
+}
+
+func hitEvent(now, block uint64, frame int) *hier.AccessEvent {
+	return &hier.AccessEvent{Now: now, Addr: block, Block: block, Frame: frame, Hit: true}
+}
+
+func TestGenerationLiveDeadTimes(t *testing.T) {
+	tr := NewTracker(4)
+	var gens []Generation
+	tr.OnGeneration = func(g Generation) { gens = append(gens, g) }
+
+	tr.OnAccess(missEvent(100, 0xA00, 0, classify.Cold, 0, false)) // load A
+	tr.OnAccess(hitEvent(150, 0xA00, 0))
+	tr.OnAccess(hitEvent(300, 0xA00, 0))                               // last hit
+	tr.OnAccess(missEvent(1000, 0xB00, 0, classify.Cold, 0xA00, true)) // evict A
+
+	if len(gens) != 1 {
+		t.Fatalf("generations = %d", len(gens))
+	}
+	g := gens[0]
+	if g.Block != 0xA00 || g.StartAt != 100 || g.EndAt != 1000 {
+		t.Fatalf("generation = %+v", g)
+	}
+	if g.LiveTime != 200 { // 300 - 100
+		t.Fatalf("live = %d, want 200", g.LiveTime)
+	}
+	if g.DeadTime != 700 { // 1000 - 300
+		t.Fatalf("dead = %d, want 700", g.DeadTime)
+	}
+	if g.Hits != 2 {
+		t.Fatalf("hits = %d", g.Hits)
+	}
+}
+
+func TestZeroLiveTimeGeneration(t *testing.T) {
+	tr := NewTracker(4)
+	var gens []Generation
+	tr.OnGeneration = func(g Generation) { gens = append(gens, g) }
+	tr.OnAccess(missEvent(100, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(missEvent(400, 0xB00, 0, classify.Cold, 0xA00, true)) // no hits on A
+	g := gens[0]
+	if g.LiveTime != 0 {
+		t.Fatalf("live = %d, want 0", g.LiveTime)
+	}
+	if g.DeadTime != 300 { // generation time == dead time
+		t.Fatalf("dead = %d, want 300", g.DeadTime)
+	}
+}
+
+func TestAccessIntervals(t *testing.T) {
+	tr := NewTracker(4)
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(hitEvent(50, 0xA00, 0))
+	tr.OnAccess(hitEvent(250, 0xA00, 0))
+	m := tr.Metrics()
+	if m.AccInt.Total() != 2 {
+		t.Fatalf("access intervals = %d", m.AccInt.Total())
+	}
+	if m.AccInt.Count(0) != 1 || m.AccInt.Count(2) != 1 { // 50 and 200
+		t.Fatal("interval bucketing wrong")
+	}
+}
+
+func TestReloadInterval(t *testing.T) {
+	tr := NewTracker(4)
+	tr.OnAccess(missEvent(100, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(missEvent(500, 0xB00, 0, classify.Cold, 0xA00, true))
+	tr.OnAccess(missEvent(5100, 0xA00, 0, classify.Conflict, 0xB00, true)) // reload A: 5000
+	m := tr.Metrics()
+	if m.Reload.Total() != 1 {
+		t.Fatalf("reload samples = %d", m.Reload.Total())
+	}
+	if m.Reload.Count(5) != 1 { // 5000 cycles -> bucket 5 (1000-wide)
+		t.Fatal("reload bucketing wrong")
+	}
+	if m.ReloadByKind[classify.Conflict].Total() != 1 {
+		t.Fatal("per-kind reload missing")
+	}
+}
+
+func TestDeadTimeCorrelatedWithNextMiss(t *testing.T) {
+	tr := NewTracker(4)
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(hitEvent(100, 0xA00, 0))
+	tr.OnAccess(missEvent(400, 0xB00, 0, classify.Cold, 0xA00, true)) // A dead 300
+	// A's next miss is a conflict: its previous generation's dead time
+	// (300) lands in the conflict histogram.
+	tr.OnAccess(missEvent(900, 0xA00, 0, classify.Conflict, 0xB00, true))
+	m := tr.Metrics()
+	h := m.DeadByKind[classify.Conflict]
+	if h.Total() != 1 || h.Count(3) != 1 {
+		t.Fatalf("conflict dead-time correlation: total=%d", h.Total())
+	}
+}
+
+func TestZeroLivePredictorTally(t *testing.T) {
+	tr := NewTracker(4)
+	// A: zero-live generation, then conflict miss -> correct prediction.
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(missEvent(100, 0xB00, 0, classify.Cold, 0xA00, true))
+	tr.OnAccess(missEvent(200, 0xA00, 0, classify.Conflict, 0xB00, true))
+	m := tr.Metrics()
+	if m.ZeroLive.Predictions != 1 || m.ZeroLive.Correct != 1 || m.ZeroLive.Events != 1 {
+		t.Fatalf("zero-live tally = %+v", m.ZeroLive)
+	}
+
+	// B: had a hit (non-zero live), then capacity miss -> no prediction.
+	tr.OnAccess(hitEvent(250, 0xA00, 0))
+	tr.OnAccess(missEvent(400, 0xB00, 0, classify.Capacity, 0xA00, true))
+	tr.OnAccess(missEvent(50000, 0xA00, 0, classify.Capacity, 0xB00, true))
+	m = tr.Metrics()
+	if m.ZeroLive.Events != 3 || m.ZeroLive.Predictions != 2 {
+		t.Fatalf("zero-live tally after = %+v", m.ZeroLive)
+	}
+}
+
+func TestDecayPredictorTally(t *testing.T) {
+	tr := NewTracker(4)
+	// Generation with max access interval 100 and dead time 2000:
+	// thresholds < 100 predict during live time (wrong); thresholds in
+	// [100, 2000) predict during dead time (correct); thresholds >= 2000
+	// never predict.
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(hitEvent(100, 0xA00, 0))
+	tr.OnAccess(missEvent(2100, 0xB00, 0, classify.Cold, 0xA00, true))
+	m := tr.Metrics()
+	// DecayThresholds: 40, 80 -> wrong; 160..1280 -> correct; 2560, 5120 -> none.
+	for i, th := range DecayThresholds {
+		acc, cov := m.DecayAccuracy(i)
+		switch {
+		case th < 100:
+			if acc != 0 || cov != 1 {
+				t.Fatalf("th=%d acc=%v cov=%v, want wrong prediction", th, acc, cov)
+			}
+		case th < 2000:
+			if acc != 1 || cov != 1 {
+				t.Fatalf("th=%d acc=%v cov=%v, want correct prediction", th, acc, cov)
+			}
+		default:
+			if cov != 0 {
+				t.Fatalf("th=%d cov=%v, want no prediction", th, cov)
+			}
+		}
+	}
+}
+
+func TestLiveTimePredictorTally(t *testing.T) {
+	tr := NewTracker(4)
+	// Generation 1 of A: live 100 (predictor learns 100).
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(hitEvent(100, 0xA00, 0))
+	tr.OnAccess(missEvent(1000, 0xB00, 0, classify.Cold, 0xA00, true))
+	// Generation 2 of A: live 150 <= 2*100, generation 900 > 200:
+	// prediction made and correct.
+	tr.OnAccess(missEvent(1100, 0xA00, 0, classify.Conflict, 0xB00, true))
+	tr.OnAccess(hitEvent(1250, 0xA00, 0))
+	tr.OnAccess(missEvent(2000, 0xB00, 0, classify.Conflict, 0xA00, true))
+	m := tr.Metrics()
+	// B's zero-live generations do not yet contribute predictions (B has
+	// no previous live time at its first eviction), so only A's second
+	// generation predicts: made and correct.
+	if m.LivePred.Predictions != 1 || m.LivePred.Correct != 1 {
+		t.Fatalf("live predictor tally = %+v", m.LivePred)
+	}
+	// Generation 3 of A: live 400 > 2*150=300 -> prediction made, wrong.
+	// (B's second generation also predicts: zero live predicted at the
+	// generation start, correct.)
+	tr.OnAccess(missEvent(2100, 0xA00, 0, classify.Conflict, 0xB00, true))
+	tr.OnAccess(hitEvent(2500, 0xA00, 0))
+	tr.OnAccess(missEvent(4000, 0xB00, 0, classify.Conflict, 0xA00, true))
+	m = tr.Metrics()
+	if m.LivePred.Predictions != 3 || m.LivePred.Correct != 2 {
+		t.Fatalf("live predictor tally = %+v", m.LivePred)
+	}
+}
+
+func TestLiveTimeNotCoveredWhenGenerationTooShort(t *testing.T) {
+	tr := NewTracker(4)
+	// Generation 1: live 1000.
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(hitEvent(1000, 0xA00, 0))
+	tr.OnAccess(missEvent(1500, 0xB00, 0, classify.Cold, 0xA00, true))
+	// Generation 2: total 500 < 2*1000 -> evicted before the prediction
+	// point; not covered.
+	tr.OnAccess(missEvent(1600, 0xA00, 0, classify.Conflict, 0xB00, true))
+	tr.OnAccess(missEvent(2100, 0xB00, 0, classify.Conflict, 0xA00, true))
+	m := tr.Metrics()
+	if m.LivePred.Predictions != 0 {
+		t.Fatalf("short generation should not be covered: %+v", m.LivePred)
+	}
+	if m.LivePred.Events != 3 { // A gen1, B gen1, A gen2
+		t.Fatalf("events = %d", m.LivePred.Events)
+	}
+}
+
+func TestLiveVariabilityRecorded(t *testing.T) {
+	tr := NewTracker(4)
+	for gen := 0; gen < 3; gen++ {
+		base := uint64(gen) * 1000
+		tr.OnAccess(missEvent(base, 0xA00, 0, classify.Cold, 0xB00, gen > 0))
+		tr.OnAccess(hitEvent(base+100, 0xA00, 0))
+		tr.OnAccess(missEvent(base+500, 0xB00, 0, classify.Cold, 0xA00, true))
+	}
+	m := tr.Metrics()
+	// A contributes two consecutive-live-time pairs and B one.
+	if m.LiveDiff.Total() != 3 || m.LiveRatio.Total() != 3 {
+		t.Fatalf("variability samples = %d/%d, want 3/3", m.LiveDiff.Total(), m.LiveRatio.Total())
+	}
+	// Identical live times -> all diffs in the center bucket.
+	if m.LiveDiff.CenterFrac() != 1 {
+		t.Fatalf("center frac = %v", m.LiveDiff.CenterFrac())
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := NewTracker(4)
+	b := NewTracker(4)
+	for _, tr := range []*Tracker{a, b} {
+		tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+		tr.OnAccess(hitEvent(100, 0xA00, 0))
+		tr.OnAccess(missEvent(500, 0xB00, 0, classify.Cold, 0xA00, true))
+	}
+	m := a.Metrics()
+	m.Merge(b.Metrics())
+	if m.Generations != 2 || m.Live.Total() != 2 || m.Dead.Total() != 2 {
+		t.Fatalf("merge: gens=%d", m.Generations)
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(4)
+	tr.OnAccess(missEvent(0, 0xA00, 0, classify.Cold, 0, false))
+	tr.OnAccess(missEvent(500, 0xB00, 0, classify.Cold, 0xA00, true))
+	tr.Reset()
+	if tr.Metrics().Generations != 0 {
+		t.Fatal("reset did not clear metrics")
+	}
+	// The in-progress generation survives: evicting B still works.
+	tr.OnAccess(missEvent(900, 0xA00, 0, classify.Conflict, 0xB00, true))
+	if tr.Metrics().Generations != 1 {
+		t.Fatal("in-progress generation lost across reset")
+	}
+}
+
+func TestGenTime(t *testing.T) {
+	g := Generation{StartAt: 100, EndAt: 350}
+	if g.GenTime() != 250 {
+		t.Fatalf("GenTime = %d", g.GenTime())
+	}
+}

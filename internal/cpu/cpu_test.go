@@ -1,0 +1,235 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"timekeeping/internal/trace"
+)
+
+// fixedMem returns a constant latency for every load.
+type fixedMem struct {
+	lat      uint64
+	accesses []uint64 // issue cycles observed
+}
+
+func (f *fixedMem) Access(r trace.Ref, issueAt uint64) uint64 {
+	f.accesses = append(f.accesses, issueAt)
+	return issueAt + f.lat
+}
+
+func refs(n int, gap uint32, dep bool) []trace.Ref {
+	out := make([]trace.Ref, n)
+	for i := range out {
+		out[i] = trace.Ref{Addr: uint64(i) * 64, Gap: gap, Kind: trace.Load, DepPrev: dep}
+	}
+	return out
+}
+
+func run(t *testing.T, cfg Config, mem MemSystem, rs []trace.Ref) Result {
+	t.Helper()
+	m := New(cfg, mem)
+	return m.Run(&trace.SliceStream{Refs: rs}, uint64(len(rs)))
+}
+
+func TestComputeBoundIPC(t *testing.T) {
+	// All hits (1-cycle memory), huge gaps: IPC should approach width.
+	mem := &fixedMem{lat: 1}
+	res := run(t, DefaultConfig(), mem, refs(2000, 63, false))
+	if res.IPC < 7 || res.IPC > 8.01 {
+		t.Fatalf("compute-bound IPC = %v, want ~8", res.IPC)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// Dependent loads with 100-cycle latency and no gaps: each load waits
+	// for the previous one -> ~100 cycles per 1 instruction.
+	mem := &fixedMem{lat: 100}
+	res := run(t, DefaultConfig(), mem, refs(500, 0, true))
+	cyclesPerRef := float64(res.Cycles) / float64(res.Refs)
+	if cyclesPerRef < 95 || cyclesPerRef > 110 {
+		t.Fatalf("dependent chain: %.1f cycles/ref, want ~100", cyclesPerRef)
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// Independent loads with 100-cycle latency, no gaps: the 128-entry
+	// window lets ~128 misses overlap -> far better than serialized.
+	mem := &fixedMem{lat: 100}
+	res := run(t, DefaultConfig(), mem, refs(2000, 0, false))
+	cyclesPerRef := float64(res.Cycles) / float64(res.Refs)
+	// Window of 128 instructions, each a load: dispatch stalls once the
+	// window fills, retiring one per subcycle thereafter -> throughput
+	// bounded by width, not latency.
+	if cyclesPerRef > 5 {
+		t.Fatalf("independent misses: %.2f cycles/ref, want overlap (<5)", cyclesPerRef)
+	}
+	if res.Cycles < 100 {
+		t.Fatalf("cycles %d too small for 100-cycle latency", res.Cycles)
+	}
+}
+
+func TestWindowLimitsOverlap(t *testing.T) {
+	// With a tiny window, the same independent misses barely overlap.
+	mem := &fixedMem{lat: 100}
+	small := Config{Width: 8, Window: 8, ExecLat: 1}
+	resSmall := run(t, small, mem, refs(500, 0, false))
+	mem2 := &fixedMem{lat: 100}
+	resBig := run(t, DefaultConfig(), mem2, refs(500, 0, false))
+	if resSmall.Cycles <= resBig.Cycles*2 {
+		t.Fatalf("window=8 cycles %d not much worse than window=128 cycles %d",
+			resSmall.Cycles, resBig.Cycles)
+	}
+}
+
+func TestStoresDoNotBlock(t *testing.T) {
+	mem := &fixedMem{lat: 100}
+	rs := refs(500, 0, false)
+	for i := range rs {
+		rs[i].Kind = trace.Store
+	}
+	res := run(t, DefaultConfig(), mem, rs)
+	// Stores retire at width: ~1 subcycle per instruction.
+	if res.IPC < 7 {
+		t.Fatalf("store-only IPC = %v, want ~8", res.IPC)
+	}
+	if len(mem.accesses) != 500 {
+		t.Fatalf("stores should still access memory: %d", len(mem.accesses))
+	}
+}
+
+func TestSWPrefetchDoesNotBlock(t *testing.T) {
+	mem := &fixedMem{lat: 100}
+	rs := refs(500, 0, false)
+	for i := range rs {
+		rs[i].Kind = trace.SWPrefetch
+	}
+	res := run(t, DefaultConfig(), mem, rs)
+	if res.IPC < 7 {
+		t.Fatalf("prefetch-only IPC = %v", res.IPC)
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	mem := &fixedMem{lat: 1}
+	res := run(t, DefaultConfig(), mem, refs(100, 9, false))
+	if res.Insts != 100*10 {
+		t.Fatalf("insts = %d, want 1000", res.Insts)
+	}
+	if res.Refs != 100 || res.Loads != 100 || res.Stores != 0 {
+		t.Fatalf("refs=%d loads=%d stores=%d", res.Refs, res.Loads, res.Stores)
+	}
+}
+
+func TestIPCMatchesCycleCount(t *testing.T) {
+	mem := &fixedMem{lat: 5}
+	res := run(t, DefaultConfig(), mem, refs(1000, 3, false))
+	want := float64(res.Insts) / float64(res.Cycles)
+	if math.Abs(res.IPC-want) > 1e-12 {
+		t.Fatalf("IPC = %v, want %v", res.IPC, want)
+	}
+}
+
+func TestIssueCyclesNondecreasingForIndependentStream(t *testing.T) {
+	mem := &fixedMem{lat: 50}
+	m := New(DefaultConfig(), mem)
+	rs := refs(1000, 2, false)
+	for i := range rs {
+		m.Step(&rs[i])
+	}
+	for i := 1; i < len(mem.accesses); i++ {
+		if mem.accesses[i] < mem.accesses[i-1] {
+			t.Fatalf("issue times regressed at %d: %d < %d", i, mem.accesses[i], mem.accesses[i-1])
+		}
+	}
+}
+
+func TestLatencySensitivity(t *testing.T) {
+	// Dependent chains must scale linearly with memory latency.
+	var cycles []uint64
+	for _, lat := range []uint64{10, 100} {
+		mem := &fixedMem{lat: lat}
+		res := run(t, DefaultConfig(), mem, refs(300, 0, true))
+		cycles = append(cycles, res.Cycles)
+	}
+	ratio := float64(cycles[1]) / float64(cycles[0])
+	if ratio < 7 || ratio > 11 {
+		t.Fatalf("latency scaling ratio = %.2f, want ~10", ratio)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Window: 128, ExecLat: 1},
+		{Width: 8, Window: 4, ExecLat: 1},
+		{Width: 8, Window: 128, ExecLat: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}, &fixedMem{})
+}
+
+func TestNowAdvances(t *testing.T) {
+	mem := &fixedMem{lat: 10}
+	m := New(DefaultConfig(), mem)
+	r := trace.Ref{Kind: trace.Load, Gap: 100}
+	before := m.Now()
+	m.Step(&r)
+	if m.Now() <= before {
+		t.Fatal("Now did not advance")
+	}
+}
+
+func TestHugeGap(t *testing.T) {
+	// A single enormous gap (e.g. folded-away software prefetches) must
+	// not break accounting.
+	mem := &fixedMem{lat: 10}
+	rs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load, Gap: 0},
+		{Addr: 64, Kind: trace.Load, Gap: 1 << 20},
+		{Addr: 128, Kind: trace.Load, Gap: 0},
+	}
+	res := run(t, DefaultConfig(), mem, rs)
+	if res.Insts != 3+1<<20 {
+		t.Fatalf("insts = %d", res.Insts)
+	}
+	// ~2^20 instructions at width 8 ≈ 131k cycles.
+	if res.Cycles < 1<<17 || res.Cycles > 1<<18 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestSnapshotMinus(t *testing.T) {
+	mem := &fixedMem{lat: 5}
+	m := New(DefaultConfig(), mem)
+	s := &trace.SliceStream{Refs: refs(200, 3, false)}
+	first := m.Run(s, 100)
+	second := m.Run(s, 100)
+	d := second.Minus(first)
+	if d.Refs != 100 {
+		t.Fatalf("delta refs = %d", d.Refs)
+	}
+	if d.Insts != second.Insts-first.Insts || d.Cycles != second.Cycles-first.Cycles {
+		t.Fatal("delta accounting wrong")
+	}
+	if d.IPC <= 0 {
+		t.Fatal("delta IPC not computed")
+	}
+	if snap := m.Snapshot(); snap != second {
+		t.Fatal("snapshot differs from last run result")
+	}
+}

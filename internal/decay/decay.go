@@ -1,0 +1,150 @@
+// Package decay implements cache decay, the timekeeping mechanism of
+// Kaxiras, Hu and Martonosi (ISCA 2001) that this paper builds on: turn
+// off (gate Vdd to) cache lines that have been idle longer than a decay
+// interval, trading a few extra misses for large leakage-energy savings.
+//
+// The paper under reproduction uses decay both as motivation (the 2-bit
+// per-line counters ticked by a global tick are the same hardware) and as
+// the dead-block predictor baseline of Section 5.1.1. This package
+// evaluates decay the way the original paper did: an observer watches the
+// L1 access stream and, for a set of candidate decay intervals, accounts
+//
+//   - off line-cycles: cycles a line would have spent powered off (idle
+//     beyond the decay interval) — proportional to leakage saved;
+//   - extra misses: accesses that would have hit a live line but find it
+//     decayed (the idle period before them exceeded the interval).
+//
+// An idle period that ends in an eviction costs nothing to decay early —
+// the data was dead anyway — which is exactly the generational asymmetry
+// (short live times, long dead times) that makes decay profitable.
+package decay
+
+import (
+	"fmt"
+
+	"timekeeping/internal/hier"
+)
+
+// Sim evaluates a set of decay intervals simultaneously over one run.
+// Attach it to a hierarchy with AddObserver.
+type Sim struct {
+	intervals []uint64
+	frames    []frameState
+	tallies   []tally
+
+	accesses uint64
+	lastNow  uint64
+	firstNow uint64
+	started  bool
+}
+
+type frameState struct {
+	lastAccess uint64
+	valid      bool
+}
+
+type tally struct {
+	offCycles   uint64
+	extraMisses uint64
+	idlePeriods uint64
+}
+
+// New returns a Sim for an L1 with `frames` frames, evaluating the given
+// decay intervals (cycles). Intervals must be positive.
+func New(frames int, intervals []uint64) *Sim {
+	if frames < 1 {
+		panic("decay: frames must be >= 1")
+	}
+	if len(intervals) == 0 {
+		panic("decay: need at least one interval")
+	}
+	for _, iv := range intervals {
+		if iv == 0 {
+			panic("decay: intervals must be positive")
+		}
+	}
+	return &Sim{
+		intervals: append([]uint64(nil), intervals...),
+		frames:    make([]frameState, frames),
+		tallies:   make([]tally, len(intervals)),
+	}
+}
+
+// Intervals returns the evaluated decay intervals.
+func (s *Sim) Intervals() []uint64 { return append([]uint64(nil), s.intervals...) }
+
+// OnAccess implements hier.Observer.
+func (s *Sim) OnAccess(ev *hier.AccessEvent) {
+	s.accesses++
+	if !s.started {
+		s.firstNow = ev.Now
+		s.started = true
+	}
+	if ev.Now > s.lastNow {
+		s.lastNow = ev.Now
+	}
+	f := &s.frames[ev.Frame]
+	if f.valid && ev.Now > f.lastAccess {
+		idle := ev.Now - f.lastAccess
+		for i, iv := range s.intervals {
+			if idle > iv {
+				t := &s.tallies[i]
+				t.offCycles += idle - iv
+				t.idlePeriods++
+				if ev.Hit {
+					// The line had decayed under this interval but the
+					// program wanted the data: an induced miss.
+					t.extraMisses++
+				}
+			}
+		}
+	}
+	f.lastAccess = ev.Now
+	f.valid = true
+}
+
+// Result summarises one interval's outcome.
+type Result struct {
+	Interval uint64
+	// OffFraction is the fraction of line-cycles spent powered off —
+	// proportional to leakage energy saved.
+	OffFraction float64
+	// ExtraMissRate is induced misses per access.
+	ExtraMissRate float64
+	// ExtraMisses is the raw induced miss count.
+	ExtraMisses uint64
+}
+
+// Results returns one Result per interval, in configuration order.
+func (s *Sim) Results() []Result {
+	span := uint64(0)
+	if s.started && s.lastNow > s.firstNow {
+		span = s.lastNow - s.firstNow
+	}
+	totalLineCycles := span * uint64(len(s.frames))
+	out := make([]Result, len(s.intervals))
+	for i, iv := range s.intervals {
+		r := Result{Interval: iv, ExtraMisses: s.tallies[i].extraMisses}
+		if totalLineCycles > 0 {
+			r.OffFraction = float64(s.tallies[i].offCycles) / float64(totalLineCycles)
+		}
+		if s.accesses > 0 {
+			r.ExtraMissRate = float64(s.tallies[i].extraMisses) / float64(s.accesses)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// String renders the tradeoff curve compactly.
+func (s *Sim) String() string {
+	out := ""
+	for _, r := range s.Results() {
+		out += fmt.Sprintf("interval=%d off=%.1f%% extraMissRate=%.4f\n",
+			r.Interval, 100*r.OffFraction, r.ExtraMissRate)
+	}
+	return out
+}
+
+// DefaultIntervals is a standard decay-interval sweep (cycles).
+var DefaultIntervals = []uint64{1024, 4096, 16384, 65536, 262144}

@@ -1,0 +1,141 @@
+package decay
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/workload"
+)
+
+func hit(now uint64, frame int) *hier.AccessEvent {
+	return &hier.AccessEvent{Now: now, Frame: frame, Hit: true}
+}
+
+func miss(now uint64, frame int) *hier.AccessEvent {
+	return &hier.AccessEvent{Now: now, Frame: frame}
+}
+
+func TestIdleBeyondIntervalCountsOff(t *testing.T) {
+	s := New(4, []uint64{100})
+	s.OnAccess(miss(0, 0))
+	s.OnAccess(hit(500, 0)) // idle 500 > 100: off 400, extra miss (it hit)
+	res := s.Results()[0]
+	if res.ExtraMisses != 1 {
+		t.Fatalf("extra misses = %d", res.ExtraMisses)
+	}
+	// Off fraction: 400 off line-cycles over 500 cycles x 4 frames.
+	want := 400.0 / (500 * 4)
+	if math.Abs(res.OffFraction-want) > 1e-9 {
+		t.Fatalf("off fraction = %v, want %v", res.OffFraction, want)
+	}
+}
+
+func TestIdleEndingInMissIsFree(t *testing.T) {
+	s := New(4, []uint64{100})
+	s.OnAccess(miss(0, 0))
+	s.OnAccess(miss(500, 0)) // the line died anyway: leakage saved, no cost
+	res := s.Results()[0]
+	if res.ExtraMisses != 0 {
+		t.Fatalf("extra misses = %d, want 0", res.ExtraMisses)
+	}
+	if res.OffFraction == 0 {
+		t.Fatal("no leakage savings recorded")
+	}
+}
+
+func TestShortIdleNoEffect(t *testing.T) {
+	s := New(4, []uint64{1000})
+	s.OnAccess(miss(0, 0))
+	s.OnAccess(hit(500, 0))
+	res := s.Results()[0]
+	if res.ExtraMisses != 0 || res.OffFraction != 0 {
+		t.Fatalf("short idle should be free: %+v", res)
+	}
+}
+
+func TestLargerIntervalsSaveLessCostLess(t *testing.T) {
+	// Run a real workload: monotonic tradeoff across intervals.
+	h := hier.New(hier.DefaultConfig())
+	s := New(h.L1().NumFrames(), DefaultIntervals)
+	h.AddObserver(s)
+	m := cpu.New(cpu.DefaultConfig(), h)
+	spec := workload.MustProfile("gcc")
+	m.Run(spec.Stream(1), 150_000)
+
+	res := s.Results()
+	for i := 1; i < len(res); i++ {
+		if res[i].OffFraction > res[i-1].OffFraction {
+			t.Fatalf("off fraction not monotone: %v", res)
+		}
+		if res[i].ExtraMisses > res[i-1].ExtraMisses {
+			t.Fatalf("extra misses not monotone: %v", res)
+		}
+	}
+	// A small interval on a generational workload should save a large
+	// fraction of leakage (dead times dominate).
+	if res[0].OffFraction < 0.3 {
+		t.Fatalf("1K-cycle decay saved only %.0f%% leakage", 100*res[0].OffFraction)
+	}
+}
+
+func TestDecayExploitsGenerationalAsymmetry(t *testing.T) {
+	// A pure capacity workload — a pointer chase whose blocks die after
+	// two quick touches and stay dead until the next lap: a moderate
+	// interval saves a large leakage fraction at near-zero induced-miss
+	// cost, because the idle periods that decay are dead times (the next
+	// access was going to miss anyway).
+	spec := workload.Spec{Name: "chase", Seed: 3, Components: []workload.ComponentSpec{
+		{Kind: workload.PatChase, Weight: 1, Base: 0x1000000, Nodes: 2048, NodeSize: 32, Touches: 2, GapMean: 1},
+	}}
+	h := hier.New(hier.DefaultConfig())
+	s := New(h.L1().NumFrames(), []uint64{8192})
+	h.AddObserver(s)
+	m := cpu.New(cpu.DefaultConfig(), h)
+	m.Run(spec.Stream(1), 150_000)
+	res := s.Results()[0]
+	if res.OffFraction < 0.3 {
+		t.Fatalf("chase off fraction = %.2f, want > 0.3 (long dead times)", res.OffFraction)
+	}
+	if res.ExtraMissRate > 0.01 {
+		t.Fatalf("chase extra miss rate = %.4f, want ~0", res.ExtraMissRate)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := New(2, []uint64{100})
+	s.OnAccess(miss(0, 0))
+	s.OnAccess(hit(500, 0))
+	if !strings.Contains(s.String(), "interval=100") {
+		t.Fatalf("render: %q", s.String())
+	}
+}
+
+func TestIntervalsCopied(t *testing.T) {
+	ivs := []uint64{100, 200}
+	s := New(2, ivs)
+	got := s.Intervals()
+	got[0] = 999
+	if s.Intervals()[0] != 100 {
+		t.Fatal("intervals not defensively copied")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, []uint64{100}) },
+		func() { New(4, nil) },
+		func() { New(4, []uint64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,27 @@
+package dram
+
+import "testing"
+
+func TestAccessLatency(t *testing.T) {
+	m := New(70)
+	if done := m.Access(100); done != 170 {
+		t.Fatalf("done = %d, want 170", done)
+	}
+	if m.Latency() != 70 {
+		t.Fatalf("latency = %d", m.Latency())
+	}
+}
+
+func TestAccessCount(t *testing.T) {
+	m := New(70)
+	for i := 0; i < 5; i++ {
+		m.Access(uint64(i))
+	}
+	if m.Accesses() != 5 {
+		t.Fatalf("accesses = %d", m.Accesses())
+	}
+	m.Reset()
+	if m.Accesses() != 0 {
+		t.Fatal("reset failed")
+	}
+}

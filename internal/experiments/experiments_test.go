@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"timekeeping/internal/classify"
+)
+
+// testRunner returns a fast, reduced-scale runner over a representative
+// benchmark subset: one stall-free (eon), one conflict-heavy (twolf), one
+// chase-capacity (ammp), one stream-capacity (swim).
+func testRunner() *Runner {
+	r := NewRunner()
+	r.Opts.WarmupRefs = 30_000
+	r.Opts.MeasureRefs = 120_000
+	r.Benches = []string{"eon", "twolf", "ammp", "swim"}
+	return r
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	r := testRunner()
+	for _, e := range All() {
+		tables := e.Run(r)
+		if len(tables) == 0 {
+			t.Errorf("%s: no tables", e.ID)
+			continue
+		}
+		for _, tb := range tables {
+			out := tb.String()
+			if len(out) == 0 || !strings.Contains(out, "==") {
+				t.Errorf("%s: empty rendering", e.ID)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestPotentialOrdering(t *testing.T) {
+	r := testRunner()
+	pot, order := r.potential()
+	if len(order) != len(r.Benches) {
+		t.Fatalf("order has %d entries", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if pot[order[i]] < pot[order[i-1]] {
+			t.Fatal("potential order not ascending")
+		}
+	}
+	// eon (no stalls) must have lower potential than ammp (memory bound).
+	if pot["eon"] >= pot["ammp"] {
+		t.Fatalf("potential: eon=%.1f ammp=%.1f", pot["eon"], pot["ammp"])
+	}
+	if pot["ammp"] < 50 {
+		t.Fatalf("ammp potential = %.1f%%, want substantial", pot["ammp"])
+	}
+}
+
+func TestMissBreakdownShape(t *testing.T) {
+	r := testRunner()
+	r.ensureAll(cfgBase)
+	twolf := r.get(cfgBase, "twolf").Hier
+	if twolf.ConflMiss <= twolf.CapMiss {
+		t.Fatalf("twolf should be conflict-dominated: confl=%d cap=%d", twolf.ConflMiss, twolf.CapMiss)
+	}
+	ammp := r.get(cfgBase, "ammp").Hier
+	if ammp.CapMiss <= ammp.ConflMiss {
+		t.Fatalf("ammp should be capacity-dominated: confl=%d cap=%d", ammp.ConflMiss, ammp.CapMiss)
+	}
+}
+
+func TestConflictReloadShorterThanCapacity(t *testing.T) {
+	// The paper's central observation (Figure 7): conflict-miss reload
+	// intervals are much shorter than capacity-miss reload intervals.
+	r := testRunner()
+	m := r.aggregateMetrics()
+	confl := m.ReloadByKind[classify.Conflict]
+	capac := m.ReloadByKind[classify.Capacity]
+	if confl.Total() == 0 || capac.Total() == 0 {
+		t.Fatal("missing per-kind reload samples")
+	}
+	if confl.Mean()*2 > capac.Mean() {
+		t.Fatalf("conflict reload mean %.0f not clearly below capacity %.0f", confl.Mean(), capac.Mean())
+	}
+}
+
+func TestAggregateMetricsNonEmpty(t *testing.T) {
+	r := testRunner()
+	m := r.aggregateMetrics()
+	if m.Generations == 0 || m.Live.Total() == 0 || m.Reload.Total() == 0 {
+		t.Fatal("aggregate metrics empty")
+	}
+}
+
+func TestMemoisation(t *testing.T) {
+	r := testRunner()
+	a := r.get(cfgBase, "eon")
+	b := r.get(cfgBase, "eon")
+	if a.CPU != b.CPU {
+		t.Fatal("memoised results differ")
+	}
+}
+
+func TestUnknownConfigPanics(t *testing.T) {
+	r := testRunner()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.ensure("bogus", []string{"eon"})
+}
+
+func TestAblationsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in -short mode")
+	}
+	r := testRunner()
+	for _, e := range Ablations() {
+		tables := e.Run(r)
+		if len(tables) == 0 {
+			t.Errorf("%s: no tables", e.ID)
+			continue
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s: empty table %q", e.ID, tb.Title)
+			}
+			if tb.CSV() == "" {
+				t.Errorf("%s: empty CSV", e.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"fmt"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/classify"
+	"timekeeping/internal/core"
+	"timekeeping/internal/prefetch"
+	"timekeeping/internal/report"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/stats"
+)
+
+// Table1 prints the simulated machine, mirroring the paper's Table 1.
+func Table1(r *Runner) []*report.Table {
+	h := r.Opts.Hier
+	c := r.Opts.CPU
+	t := &report.Table{Title: "Table 1: Configuration of simulated processor", Columns: []string{"parameter", "value"}}
+	t.AddRow("Issue width", fmt.Sprintf("%d instructions per cycle", c.Width))
+	t.AddRow("Instruction window", fmt.Sprintf("%d entries", c.Window))
+	t.AddRow("L1 Dcache", fmtCache(h.L1))
+	t.AddRow("L2 cache", fmtCache(h.L2))
+	t.AddRow("L1 hit latency", fmt.Sprintf("%d cycles", h.L1HitLat))
+	t.AddRow("L2 latency", fmt.Sprintf("%d cycles", h.L2Lat))
+	t.AddRow("Memory latency", fmt.Sprintf("%d cycles", h.MemLat))
+	t.AddRow("L1/L2 bus", fmtBus(h.L1L2BusBytes, h.L1L2BusRatio))
+	t.AddRow("L2/Memory bus", fmtBus(h.L2MemBusBytes, h.L2MemBusRatio))
+	t.AddRow("Demand MSHRs", report.Int(uint64(h.DemandMSHRs)))
+	t.AddRow("Prefetch MSHRs", report.Int(uint64(h.PrefetchMSHRs)))
+	t.AddRow("Prefetch request queue", "128 entries")
+	return []*report.Table{t}
+}
+
+func fmtCache(c cache.Config) string {
+	return fmt.Sprintf("%dKB, %d-way, %dB blocks", c.Bytes>>10, c.Ways, c.BlockBytes)
+}
+
+func fmtBus(bytes, ratio uint64) string {
+	return fmt.Sprintf("%d-byte wide, 1/%d CPU clock", bytes, ratio)
+}
+
+// Figure1 is the limit study: IPC improvement if all conflict and capacity
+// misses in the L1 data cache were eliminated.
+func Figure1(r *Runner) []*report.Table {
+	pot, order := r.potential()
+	t := &report.Table{
+		Title:   "Figure 1: Potential IPC improvement (no conflict/capacity misses)",
+		Columns: []string{"bench", "base IPC", "perfect IPC", "potential"},
+	}
+	vals := make([]float64, 0, len(order))
+	for _, b := range order {
+		base := r.get(cfgBase, b)
+		perfect := r.get(cfgPerfect, b)
+		t.AddRow(b, report.F(base.CPU.IPC, 3), report.F(perfect.CPU.IPC, 3), report.PctPoints(pot[b]))
+		vals = append(vals, pot[b])
+	}
+	t.AddNote("benchmarks sorted ascending by potential, as in the paper")
+	t.AddNote("mean potential = %.1f%%", stats.Mean(vals))
+	return []*report.Table{t}
+}
+
+// Figure2 breaks L1 data misses into conflict, cold and capacity.
+func Figure2(r *Runner) []*report.Table {
+	_, order := r.potential()
+	t := &report.Table{
+		Title:   "Figure 2: L1 miss breakdown",
+		Columns: []string{"bench", "misses", "%conflict", "%cold", "%capacity"},
+	}
+	for _, b := range order {
+		s := r.get(cfgBase, b).Hier
+		total := float64(s.Misses)
+		if total == 0 {
+			t.AddRow(b, "0", "-", "-", "-")
+			continue
+		}
+		t.AddRow(b, report.Int(s.Misses),
+			report.Pct(float64(s.ConflMiss)/total),
+			report.Pct(float64(s.ColdMisses)/total),
+			report.Pct(float64(s.CapMiss)/total))
+	}
+	t.AddNote("programs with the biggest potential (bottom) lean to capacity misses, as in the paper")
+	return []*report.Table{t}
+}
+
+// distTable renders the head of a histogram plus its overflow bucket.
+func distTable(title, unit string, hists map[string]*stats.Hist, buckets int) *report.Table {
+	cols := []string{"bucket(" + unit + ")"}
+	names := make([]string, 0, len(hists))
+	for _, n := range []string{"live", "dead", "access", "reload", "conflict", "capacity"} {
+		if _, ok := hists[n]; ok {
+			names = append(names, n)
+			cols = append(cols, "%"+n)
+		}
+	}
+	// Bars scale against the largest displayed bucket so the table reads
+	// like the paper's bar charts.
+	maxPct := 0.0
+	for _, n := range names {
+		for i := 0; i < buckets; i++ {
+			if p := hists[n].Percent(i); p > maxPct {
+				maxPct = p
+			}
+		}
+	}
+	cols = append(cols, "["+names[0]+"]")
+	t := &report.Table{Title: title, Columns: cols}
+	for i := 0; i < buckets; i++ {
+		row := []string{report.Int(uint64(i))}
+		for _, n := range names {
+			row = append(row, report.F(hists[n].Percent(i), 2))
+		}
+		row = append(row, report.Bar(hists[names[0]].Percent(i), maxPct, 24))
+		t.AddRow(row...)
+	}
+	row := []string{"overflow"}
+	for _, n := range names {
+		h := hists[n]
+		// Everything beyond the displayed range.
+		var pct float64
+		for i := buckets; i <= h.Buckets; i++ {
+			pct += h.Percent(i)
+		}
+		row = append(row, report.F(pct, 2))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Figure4 shows the suite-wide live-time and dead-time distributions.
+func Figure4(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	t := distTable("Figure 4: live and dead time distributions", "x100cyc",
+		map[string]*stats.Hist{"live": m.Live, "dead": m.Dead}, 16)
+	t.AddNote("%% live times <= 100 cycles: %s (paper: 58%%)", report.Pct(m.Live.FracBelow(100)))
+	t.AddNote("%% dead times <= 100 cycles: %s (paper: 31%%)", report.Pct(m.Dead.FracBelow(100)))
+	t.AddNote("mean live=%.0f dead=%.0f cycles", m.Live.Mean(), m.Dead.Mean())
+	return []*report.Table{t}
+}
+
+// Figure5 shows access-interval and reload-interval distributions.
+func Figure5(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	ai := distTable("Figure 5a: access interval distribution", "x100cyc",
+		map[string]*stats.Hist{"access": m.AccInt}, 16)
+	ai.AddNote("%% access intervals < 1000 cycles: %s (paper: 91%%)", report.Pct(m.AccInt.FracBelow(1000)))
+	rl := distTable("Figure 5b: reload interval distribution", "x1000cyc",
+		map[string]*stats.Hist{"reload": m.Reload}, 16)
+	rl.AddNote("%% reload intervals < 1000 cycles: %s (paper: 24%%)", report.Pct(m.Reload.FracBelow(1000)))
+	return []*report.Table{ai, rl}
+}
+
+// Figure7 splits reload intervals by the Hill class of the following miss.
+func Figure7(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	t := distTable("Figure 7: reload interval by miss type", "x1000cyc",
+		map[string]*stats.Hist{
+			"conflict": m.ReloadByKind[classify.Conflict],
+			"capacity": m.ReloadByKind[classify.Capacity],
+		}, 16)
+	t.AddNote("mean reload: conflict=%.0f capacity=%.0f cycles (paper: conflict ~8K, capacity 1-2 orders larger)",
+		m.ReloadByKind[classify.Conflict].Mean(), m.ReloadByKind[classify.Capacity].Mean())
+	return []*report.Table{t}
+}
+
+// curveTable renders an accuracy/coverage threshold sweep.
+func curveTable(title, unit string, c stats.ThresholdCurve, scale uint64) *report.Table {
+	t := &report.Table{Title: title, Columns: []string{"threshold(" + unit + ")", "accuracy", "coverage"}}
+	for i, th := range c.Thresholds {
+		t.AddRow(report.Int(th/scale), report.F(c.Accuracy[i], 3), report.F(c.Coverage[i], 3))
+	}
+	return t
+}
+
+// Figure8 sweeps the reload-interval conflict predictor threshold.
+func Figure8(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	ths := []uint64{1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000, 256000, 512000}
+	curve := core.EvalConflictCurve(m, true, ths)
+	t := curveTable("Figure 8: conflict prediction by reload interval", "x1000cyc", curve, 1000)
+	if knee, ok := curve.Knee(0.9); ok {
+		t.AddNote("largest threshold with accuracy >= 0.9: %d cycles (paper's operating point: 16K)", knee)
+	}
+	return []*report.Table{t}
+}
+
+// Figure9 splits dead times by the following miss's class.
+func Figure9(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	t := distTable("Figure 9: dead time by miss type", "x100cyc",
+		map[string]*stats.Hist{
+			"conflict": m.DeadByKind[classify.Conflict],
+			"capacity": m.DeadByKind[classify.Capacity],
+		}, 16)
+	t.AddNote("mean dead time: conflict=%.0f capacity=%.0f cycles",
+		m.DeadByKind[classify.Conflict].Mean(), m.DeadByKind[classify.Capacity].Mean())
+	return []*report.Table{t}
+}
+
+// Figure10 sweeps the dead-time conflict predictor threshold.
+func Figure10(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	ths := []uint64{100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200}
+	curve := core.EvalConflictCurve(m, false, ths)
+	t := curveTable("Figure 10: conflict prediction by dead time", "x100cyc", curve, 100)
+	t.AddNote("small thresholds: high accuracy, ~40%% coverage; accuracy degrades as the threshold grows (paper)")
+	return []*report.Table{t}
+}
+
+// Figure11 evaluates the zero-live-time conflict predictor per benchmark.
+func Figure11(r *Runner) []*report.Table {
+	r.ensureAll(cfgBase)
+	t := &report.Table{
+		Title:   "Figure 11: zero-live-time conflict predictor",
+		Columns: []string{"bench", "accuracy", "coverage"},
+	}
+	var accs, covs []float64
+	for _, b := range r.Benches {
+		m := r.get(cfgBase, b).Tracker
+		acc, cov := m.ZeroLive.Accuracy(), m.ZeroLive.Coverage()
+		t.AddRow(b, report.F(acc, 3), report.F(cov, 3))
+		accs = append(accs, acc)
+		covs = append(covs, cov)
+	}
+	t.AddRow("[geomean]", report.F(stats.Geomean(accs), 3), report.F(stats.Geomean(covs), 3))
+	t.AddNote("paper geomean: accuracy 68%%, coverage ~30%%")
+	return []*report.Table{t}
+}
+
+// Figure13 compares victim-cache admission policies: IPC improvement over
+// the no-victim-cache base and fill traffic into the victim cache.
+func Figure13(r *Runner) []*report.Table {
+	_, order := r.potential()
+	for _, cfg := range []string{cfgVNone, cfgVColl, cfgVDecay} {
+		r.ensureAll(cfg)
+	}
+	ipc := &report.Table{
+		Title:   "Figure 13a: victim cache IPC improvement over base",
+		Columns: []string{"bench", "no filter", "collins", "decay(timekeeping)"},
+	}
+	traffic := &report.Table{
+		Title:   "Figure 13b: victim cache fill traffic (entries/cycle)",
+		Columns: []string{"bench", "no filter", "collins", "decay(timekeeping)"},
+	}
+	var impNone, impColl, impDecay, reductions []float64
+	for _, b := range order {
+		base := r.get(cfgBase, b)
+		vn := r.get(cfgVNone, b)
+		vc := r.get(cfgVColl, b)
+		vd := r.get(cfgVDecay, b)
+		in, ic, id := sim.Improvement(vn, base), sim.Improvement(vc, base), sim.Improvement(vd, base)
+		ipc.AddRow(b, report.PctPoints(in), report.PctPoints(ic), report.PctPoints(id))
+		traffic.AddRow(b, report.F(vn.VictimFillPerCycle(), 4), report.F(vc.VictimFillPerCycle(), 4), report.F(vd.VictimFillPerCycle(), 4))
+		impNone = append(impNone, in)
+		impColl = append(impColl, ic)
+		impDecay = append(impDecay, id)
+		if fn := vn.VictimFillPerCycle(); fn > 0 {
+			reductions = append(reductions, 1-vd.VictimFillPerCycle()/fn)
+		}
+	}
+	ipc.AddRow("[mean]", report.PctPoints(stats.Mean(impNone)), report.PctPoints(stats.Mean(impColl)), report.PctPoints(stats.Mean(impDecay)))
+	if len(reductions) > 0 {
+		traffic.AddNote("decay filter cuts fill traffic by %s vs unfiltered, averaged per benchmark (paper: 87%%)",
+			report.Pct(stats.Mean(reductions)))
+	}
+	return []*report.Table{ipc, traffic}
+}
+
+// Figure14 evaluates the decay (dead-time threshold) dead-block predictor.
+func Figure14(r *Runner) []*report.Table {
+	m := r.aggregateMetrics()
+	t := &report.Table{
+		Title:   "Figure 14: dead-block prediction by dead time",
+		Columns: []string{"threshold(cyc)", "accuracy", "coverage"},
+	}
+	for i, th := range core.DecayThresholds {
+		acc, cov := m.DecayAccuracy(i)
+		t.AddRow(">"+report.Int(th), report.F(acc, 3), report.F(cov, 3))
+	}
+	t.AddNote("paper: accuracy needs threshold > 5120 cycles, where coverage is ~50%%")
+	return []*report.Table{t}
+}
+
+// Figure15 shows live-time variability for the eight best performers.
+func Figure15(r *Runner) []*report.Table {
+	r.ensureAll(cfgBase)
+	t := &report.Table{
+		Title:   "Figure 15: consecutive live time variability",
+		Columns: []string{"bench", "%|diff|<16cyc", "%lt <= 2x prev"},
+	}
+	agg := core.NewMetrics()
+	for _, b := range r.bestPerformers() {
+		m := r.get(cfgBase, b).Tracker
+		t.AddRow(b, report.Pct(m.LiveDiff.CenterFrac()), report.Pct(ratioBelow2(m.LiveRatio)))
+	}
+	for _, b := range r.Benches {
+		if res := r.get(cfgBase, b); res.Tracker != nil {
+			agg.Merge(res.Tracker)
+		}
+	}
+	t.AddRow("[average]", report.Pct(agg.LiveDiff.CenterFrac()), report.Pct(ratioBelow2(agg.LiveRatio)))
+	t.AddNote("paper: >20%% of consecutive differences < 16 cycles; ~80%% of live times <= 2x previous")
+	return []*report.Table{t}
+}
+
+// ratioBelow2 returns the fraction of consecutive live-time ratios < 2.
+func ratioBelow2(r *stats.RatioHist) float64 {
+	cum := r.Cumulative()
+	// Bucket index Span is [1,2); cumulative through it = frac(ratio < 2).
+	return cum[r.Span]
+}
+
+// bestPerformers filters the paper's eight best performers to those in the
+// Runner's benchmark set.
+func (r *Runner) bestPerformers() []string {
+	have := make(map[string]bool, len(r.Benches))
+	for _, b := range r.Benches {
+		have[b] = true
+	}
+	var out []string
+	for _, b := range bestPerformerNames {
+		if have[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+var bestPerformerNames = []string{"gcc", "mcf", "swim", "mgrid", "applu", "art", "facerec", "ammp"}
+
+// Figure16 evaluates the live-time ("2x last") dead-block predictor per
+// benchmark.
+func Figure16(r *Runner) []*report.Table {
+	r.ensureAll(cfgBase)
+	t := &report.Table{
+		Title:   "Figure 16: live-time dead-block predictor",
+		Columns: []string{"bench", "accuracy", "coverage"},
+	}
+	var accs, covs []float64
+	for _, b := range r.Benches {
+		m := r.get(cfgBase, b).Tracker
+		acc := m.LivePred.Accuracy()
+		cov := m.LivePred.PredictionRate()
+		t.AddRow(b, report.F(acc, 3), report.F(cov, 3))
+		accs = append(accs, acc)
+		covs = append(covs, cov)
+	}
+	t.AddRow("[mean]", report.F(stats.Mean(accs), 3), report.F(stats.Mean(covs), 3))
+	t.AddNote("paper average: accuracy ~75%%, coverage ~70%%, better than the decay predictor")
+	return []*report.Table{t}
+}
+
+// Figure19 compares prefetchers: timekeeping (8 KB) vs DBCP (2 MB).
+func Figure19(r *Runner) []*report.Table {
+	_, order := r.potential()
+	r.ensureAll(cfgTK)
+	r.ensureAll(cfgDBCP)
+	t := &report.Table{
+		Title:   "Figure 19: prefetch IPC improvement over base",
+		Columns: []string{"bench", "DBCP 2MB", "timekeeping 8KB"},
+	}
+	var impD, impT []float64
+	for _, b := range order {
+		base := r.get(cfgBase, b)
+		d := sim.Improvement(r.get(cfgDBCP, b), base)
+		k := sim.Improvement(r.get(cfgTK, b), base)
+		t.AddRow(b, report.PctPoints(d), report.PctPoints(k))
+		impD = append(impD, d)
+		impT = append(impT, k)
+	}
+	t.AddRow("[mean]", report.PctPoints(stats.Mean(impD)), report.PctPoints(stats.Mean(impT)))
+	t.AddNote("paper: timekeeping ~11%% mean vs DBCP ~7%%; DBCP ahead only on mcf and ammp")
+	return []*report.Table{t}
+}
+
+// Figure20 shows the 8 KB table's address prediction accuracy and coverage
+// for the eight best performers.
+func Figure20(r *Runner) []*report.Table {
+	r.ensureAll(cfgTK)
+	t := &report.Table{
+		Title:   "Figure 20: address prediction accuracy & coverage (8KB table)",
+		Columns: []string{"bench", "accuracy", "coverage"},
+	}
+	for _, b := range r.bestPerformers() {
+		res := r.get(cfgTK, b)
+		t.AddRow(b, report.F(res.PFAddrAcc, 3), report.F(res.PFCoverage, 3))
+	}
+	return []*report.Table{t}
+}
+
+// Figure21 classifies prefetch timeliness for correct and wrong address
+// predictions.
+func Figure21(r *Runner) []*report.Table {
+	r.ensureAll(cfgTK)
+	classes := []prefetch.TimelinessClass{prefetch.Early, prefetch.Discarded, prefetch.Timely, prefetch.Late, prefetch.NotStarted}
+	mk := func(correct bool, title string) *report.Table {
+		cols := []string{"bench"}
+		for _, c := range classes {
+			cols = append(cols, c.String())
+		}
+		t := &report.Table{Title: title, Columns: cols}
+		for _, b := range r.bestPerformers() {
+			res := r.get(cfgTK, b)
+			row := []string{b}
+			for _, c := range classes {
+				row = append(row, report.Pct(res.PFTimeliness.Frac(correct, c)))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	return []*report.Table{
+		mk(true, "Figure 21a: timeliness of correct address predictions"),
+		mk(false, "Figure 21b: timeliness of wrong address predictions"),
+	}
+}
+
+// Figure22 reproduces the summary Venn diagram as a classification table:
+// which programs have few memory stalls, which are helped by the
+// timekeeping victim filter, and which by timekeeping prefetch.
+func Figure22(r *Runner) []*report.Table {
+	pot, order := r.potential()
+	r.ensureAll(cfgVDecay)
+	r.ensureAll(cfgTK)
+	t := &report.Table{
+		Title:   "Figure 22: program classification",
+		Columns: []string{"bench", "potential", "victim gain", "prefetch gain", "classes"},
+	}
+	for _, b := range order {
+		base := r.get(cfgBase, b)
+		v := sim.Improvement(r.get(cfgVDecay, b), base)
+		p := sim.Improvement(r.get(cfgTK, b), base)
+		var classes []byte
+		if pot[b] < 5 {
+			classes = append(classes, 'S') // few memory stalls
+		}
+		if v >= 1 {
+			classes = append(classes, 'V') // helped by victim filter
+		}
+		if p >= 1 {
+			classes = append(classes, 'P') // helped by timekeeping prefetch
+		}
+		if len(classes) == 0 {
+			classes = []byte{'-'}
+		}
+		t.AddRow(b, report.PctPoints(pot[b]), report.PctPoints(v), report.PctPoints(p), string(classes))
+	}
+	t.AddNote("S = few memory stalls, V = helped by timekeeping victim filter, P = helped by timekeeping prefetch")
+	return []*report.Table{t}
+}

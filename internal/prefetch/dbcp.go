@@ -1,0 +1,190 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/hier"
+)
+
+// DBCP is the baseline the paper compares against: the Dead-Block
+// Correlating Prefetcher of Lai, Fide and Falsafi (ISCA 2001). Each L1
+// frame accumulates a reference-trace signature — a hash chain of the PCs
+// that touched the resident block since its fill. When a block dies, the
+// signature it died with is recorded; when the same signature recurs and
+// its confidence is high, the block is predicted dead on the spot and the
+// correlated next block is prefetched immediately.
+//
+// The paper's DBCP uses a 2 MB correlation table; ours defaults to the
+// same budget (512K entries x 4 bytes). Its large size is what lets it
+// cover mcf-scale footprints that thrash the 8 KB timekeeping table.
+type DBCP struct {
+	cfg  Config
+	l1   *cache.Cache
+	mask uint64
+
+	entries []dbcpEntry
+	frames  []dbcpFrame
+	eng     *engine
+}
+
+// dbcpEntry is one correlation-table slot: a saturating dead-confidence
+// counter and the block observed to follow the signature's death.
+type dbcpEntry struct {
+	conf    uint8 // 2-bit saturating confidence that this signature means death
+	nextTag uint32
+	nextSet uint32
+	valid   bool
+}
+
+// dbcpFrame is the per-frame trace state.
+type dbcpFrame struct {
+	sig    uint64 // trace signature of the resident block
+	active bool
+}
+
+// DBCPEntries is the paper's 2 MB table at 4 bytes per entry.
+const DBCPEntries = 1 << 19
+
+// NewDBCP builds a DBCP with the given entry count (a power of two).
+func NewDBCP(cfg Config, entries int, l1 *cache.Cache) *DBCP {
+	if entries < 2 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("prefetch: DBCP entries %d must be a power of two >= 2", entries))
+	}
+	if cfg.QueueEntries < 1 {
+		panic("prefetch: queue must have >= 1 entry")
+	}
+	return &DBCP{
+		cfg:     cfg,
+		l1:      l1,
+		mask:    uint64(entries - 1),
+		entries: make([]dbcpEntry, entries),
+		frames:  make([]dbcpFrame, l1.NumFrames()),
+		eng:     newEngine(l1.NumFrames(), cfg.QueueEntries),
+	}
+}
+
+// SizeBytes reports the table budget (4 bytes per entry, as in the paper's
+// 2 MB configuration).
+func (p *DBCP) SizeBytes() int { return len(p.entries) * 4 }
+
+// sigInit seeds a signature from the block identity.
+func sigInit(block uint64) uint64 {
+	x := block * 0x9e3779b97f4a7c15
+	return x ^ x>>29
+}
+
+// sigStep extends a signature with one PC (truncated-addition style
+// mixing, as in the DBCP paper).
+func sigStep(sig uint64, pc uint32) uint64 {
+	s := sig + uint64(pc)*0xbf58476d1ce4e5b9
+	return s ^ s>>31
+}
+
+// OnAccess implements hier.Observer.
+func (p *DBCP) OnAccess(ev *hier.AccessEvent) {
+	f := &p.frames[ev.Frame]
+	if ev.Hit {
+		// A demand touch of a prefetched block finalises its record as
+		// timely-correct.
+		p.eng.onFrameHit(ev.Frame, ev.Block, ev.Now)
+		if !f.active {
+			return
+		}
+		// The block lived past its previous signature: that signature was
+		// not a death point; decay its confidence.
+		p.decay(f.sig)
+		f.sig = sigStep(f.sig, ev.PC)
+		p.maybePrefetch(ev, f)
+		return
+	}
+
+	// Miss: the departing block died with signature f.sig. Train the
+	// table: this signature means death, followed by the incoming block.
+	p.eng.onFrameMiss(ev.Frame, ev.Block, ev.Now)
+	if f.active && ev.Victim.Valid {
+		e := &p.entries[f.sig&p.mask]
+		set := uint32(p.l1.Set(ev.Addr))
+		tag := uint32(p.l1.Tag(ev.Addr))
+		if e.valid && e.nextTag == tag && e.nextSet == set {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			*e = dbcpEntry{conf: 1, nextTag: tag, nextSet: set, valid: true}
+		}
+	}
+	f.sig = sigStep(sigInit(ev.Block), ev.PC)
+	f.active = true
+	p.maybePrefetch(ev, f)
+}
+
+// decay weakens the confidence of a signature that proved non-final.
+func (p *DBCP) decay(sig uint64) {
+	e := &p.entries[sig&p.mask]
+	if e.valid && e.conf > 0 {
+		e.conf--
+	}
+}
+
+// maybePrefetch predicts death at the current signature and, if confident,
+// schedules an immediate prefetch of the correlated next block.
+func (p *DBCP) maybePrefetch(ev *hier.AccessEvent, f *dbcpFrame) {
+	e := &p.entries[f.sig&p.mask]
+	if !e.valid || e.conf < 2 {
+		return
+	}
+	target := p.blockOf(uint64(e.nextTag), uint64(e.nextSet))
+	if target == ev.Block {
+		return
+	}
+	p.eng.schedule(ev.Frame, target, ev.Block, p.cfg.tickUp(ev.Now))
+}
+
+// blockOf reconstructs a block address from (tag, set).
+func (p *DBCP) blockOf(tag, set uint64) uint64 {
+	sets := p.l1.Config().Sets()
+	setBits := uint(0)
+	for s := sets; s > 1; s >>= 1 {
+		setBits++
+	}
+	blockShift := uint(0)
+	for b := p.l1.Config().BlockBytes; b > 1; b >>= 1 {
+		blockShift++
+	}
+	return (tag<<setBits | set) << blockShift
+}
+
+// Due implements hier.Prefetcher.
+func (p *DBCP) Due(now uint64, max int) []hier.PrefetchRequest {
+	reqs := p.eng.due(now, max)
+	if len(reqs) == 0 {
+		return nil
+	}
+	out := make([]hier.PrefetchRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = hier.PrefetchRequest{ID: r.seq, Block: r.block}
+	}
+	return out
+}
+
+// Filled implements hier.Prefetcher.
+func (p *DBCP) Filled(id uint64, at uint64, frame int, victim cache.Victim) {
+	p.eng.filled(id, at)
+	// A prefetched block that is then demanded looks like a hit; start a
+	// fresh signature for it so training continues.
+	if r, ok := p.eng.bySeq[id]; ok {
+		f := &p.frames[frame]
+		f.sig = sigInit(r.block)
+		f.active = true
+	}
+}
+
+// Timeliness returns the classification tallies.
+func (p *DBCP) Timeliness() Timeliness { return p.eng.timeliness }
+
+// Issued returns the number of prefetches handed to the hierarchy.
+func (p *DBCP) Issued() uint64 { return p.eng.issued }
+
+// ResetStats clears tallies (training state preserved).
+func (p *DBCP) ResetStats() { p.eng.resetStats() }

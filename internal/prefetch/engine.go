@@ -1,0 +1,337 @@
+// Package prefetch implements the paper's two hardware prefetchers: the
+// timekeeping prefetcher of Section 5.2 (8 KB unified address + live-time
+// correlation table, prefetch scheduled at 2x the predicted live time) and
+// the DBCP baseline of Lai, Fide and Falsafi (a 2 MB dead-block
+// correlating predictor driven by per-frame reference-trace signatures).
+//
+// Both share the engine in this file: a per-frame countdown timer (the
+// paper's prefetch_counter), the 128-entry prefetch request queue that
+// drops its oldest entry when full, and the timeliness bookkeeping that
+// reproduces Figure 21's classification — early / discarded / timely /
+// started-but-not-timely / not-started, split by address-prediction
+// correctness.
+package prefetch
+
+import "timekeeping/internal/stats"
+
+// TimelinessClass labels a finished prefetch the way Figure 21 does.
+type TimelinessClass uint8
+
+// Timeliness classes (Figure 21).
+const (
+	// Early prefetches arrived before the resident block was dead and
+	// displaced it, causing an extra miss.
+	Early TimelinessClass = iota
+	// Discarded prefetches were dropped from the request queue before
+	// issue to make room for newer requests.
+	Discarded
+	// Timely prefetches arrived within the dead time, before the next
+	// miss.
+	Timely
+	// Late prefetches issued but arrived after the next miss
+	// ("started_but_not_timely").
+	Late
+	// NotStarted prefetches never issued before the next miss.
+	NotStarted
+	numClasses
+)
+
+// String returns the class name as used in Figure 21.
+func (c TimelinessClass) String() string {
+	switch c {
+	case Early:
+		return "early"
+	case Discarded:
+		return "discarded"
+	case Timely:
+		return "timely"
+	case Late:
+		return "start_not_timely"
+	case NotStarted:
+		return "not_started"
+	default:
+		return "invalid"
+	}
+}
+
+// Timeliness tallies finished prefetches by class, split by whether the
+// address prediction was correct.
+type Timeliness struct {
+	Correct [numClasses]uint64
+	Wrong   [numClasses]uint64
+}
+
+// Total returns the number of classified prefetches on one side.
+func sum(a [numClasses]uint64) uint64 {
+	var t uint64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// CorrectTotal returns the number of correct-address prefetches classified.
+func (t *Timeliness) CorrectTotal() uint64 { return sum(t.Correct) }
+
+// WrongTotal returns the number of wrong-address prefetches classified.
+func (t *Timeliness) WrongTotal() uint64 { return sum(t.Wrong) }
+
+// Frac returns class c's share within the correct or wrong population.
+func (t *Timeliness) Frac(correct bool, c TimelinessClass) float64 {
+	var arr [numClasses]uint64
+	if correct {
+		arr = t.Correct
+	} else {
+		arr = t.Wrong
+	}
+	total := sum(arr)
+	if total == 0 {
+		return 0
+	}
+	return float64(arr[c]) / float64(total)
+}
+
+// recState is a prefetch record's lifecycle position.
+type recState uint8
+
+const (
+	stScheduled recState = iota // countdown running
+	stQueued                    // in the request queue
+	stIssued                    // sent to L2/memory
+	stArrived                   // data installed in L1
+	stDiscarded                 // dropped from the queue
+	stDone                      // classified
+)
+
+// record tracks one prediction from schedule to classification.
+type record struct {
+	seq       uint64
+	frame     int
+	block     uint64 // predicted prefetch target (block address)
+	displaced uint64 // block resident when the prediction was made
+	state     recState
+	fireAt    uint64
+	arriveAt  uint64
+}
+
+// engine owns records, the countdown timers and the request queue.
+type engine struct {
+	queueCap int
+
+	timers  timerHeap
+	queue   []*record // ready queue, oldest first
+	byFrame []*record // active record per frame (one prefetch_counter each)
+	bySeq   map[uint64]*record
+	nextSeq uint64
+
+	// earlyCheck defers address-correctness for early prefetches to the
+	// following miss in the frame (the displaced block's reload is not
+	// the next-generation address).
+	earlyCheck []earlyPending
+
+	timeliness Timeliness
+	addr       stats.BinaryPredictionTally // address accuracy per finished prediction
+
+	scheduled uint64
+	issued    uint64
+}
+
+type earlyPending struct {
+	valid    bool
+	predTag  uint64 // predicted block
+	displace uint64 // the block whose reload triggered "early"
+}
+
+// timerHeap is a binary min-heap of records ordered by fireAt.
+type timerHeap []*record
+
+func (h *timerHeap) push(r *record) {
+	*h = append(*h, r)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].fireAt <= (*h)[i].fireAt {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *timerHeap) pop() *record {
+	old := *h
+	r := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h)[l].fireAt < (*h)[small].fireAt {
+			small = l
+		}
+		if rr < n && (*h)[rr].fireAt < (*h)[small].fireAt {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return r
+}
+
+func newEngine(frames, queueCap int) *engine {
+	return &engine{
+		queueCap:   queueCap,
+		byFrame:    make([]*record, frames),
+		bySeq:      make(map[uint64]*record),
+		earlyCheck: make([]earlyPending, frames),
+	}
+}
+
+// schedule arms frame's prefetch counter: fetch `block` at fireAt. Any
+// previous un-issued prediction for the frame is superseded.
+func (e *engine) schedule(frame int, block, displaced, fireAt uint64) {
+	if old := e.byFrame[frame]; old != nil && old.state != stDone {
+		// A new miss re-arms the frame's single counter; the old
+		// prediction is abandoned without classification (it no longer
+		// corresponds to a generation boundary we can check).
+		old.state = stDone
+		delete(e.bySeq, old.seq)
+	}
+	e.nextSeq++
+	r := &record{
+		seq:       e.nextSeq,
+		frame:     frame,
+		block:     block,
+		displaced: displaced,
+		state:     stScheduled,
+		fireAt:    fireAt,
+	}
+	e.byFrame[frame] = r
+	e.bySeq[r.seq] = r
+	e.timers.push(r)
+	e.scheduled++
+}
+
+// due moves expired timers into the queue (dropping the oldest entries
+// beyond capacity) and pops up to max ready requests.
+func (e *engine) due(now uint64, max int) []issueReq {
+	for len(e.timers) > 0 && e.timers[0].fireAt <= now {
+		r := e.timers.pop()
+		if r.state != stScheduled { // superseded or already finished
+			continue
+		}
+		r.state = stQueued
+		e.queue = append(e.queue, r)
+		if len(e.queue) > e.queueCap {
+			dropped := e.queue[0]
+			e.queue = e.queue[1:]
+			if dropped.state == stQueued {
+				dropped.state = stDiscarded
+			}
+		}
+	}
+	var out []issueReq
+	for len(e.queue) > 0 && len(out) < max {
+		r := e.queue[0]
+		e.queue = e.queue[1:]
+		if r.state != stQueued {
+			continue
+		}
+		r.state = stIssued
+		e.issued++
+		out = append(out, issueReq{seq: r.seq, block: r.block})
+	}
+	return out
+}
+
+// issueReq pairs a record id with its prefetch target.
+type issueReq struct {
+	seq   uint64
+	block uint64
+}
+
+// filled records a prefetch arrival.
+func (e *engine) filled(seq, at uint64) {
+	if r, ok := e.bySeq[seq]; ok && r.state == stIssued {
+		r.state = stArrived
+		r.arriveAt = at
+	}
+}
+
+// classify finishes record r given the address of the frame's next demand
+// miss (or hit on the prefetched block, hitOnTarget).
+func (e *engine) classify(r *record, missBlock uint64, hitOnTarget bool, now uint64) {
+	correct := missBlock == r.block
+	var class TimelinessClass
+	switch {
+	case hitOnTarget:
+		class, correct = Timely, true
+	case r.state == stArrived && missBlock == r.displaced:
+		// The prefetch displaced a block that was still live; defer the
+		// correctness call to the next miss (the displaced block's
+		// reload address says nothing about the prediction).
+		class = Early
+		e.earlyCheck[r.frame] = earlyPending{valid: true, predTag: r.block, displace: r.displaced}
+		r.state = stDone
+		delete(e.bySeq, r.seq)
+		return
+	case r.state == stArrived:
+		class = Timely
+	case r.state == stIssued:
+		class = Late
+	case r.state == stDiscarded:
+		class = Discarded
+	default: // scheduled or queued
+		class = NotStarted
+	}
+	e.record(class, correct)
+	r.state = stDone
+	delete(e.bySeq, r.seq)
+}
+
+// record tallies one classified prefetch.
+func (e *engine) record(class TimelinessClass, correct bool) {
+	if correct {
+		e.timeliness.Correct[class]++
+	} else {
+		e.timeliness.Wrong[class]++
+	}
+	e.addr.Record(true, correct)
+}
+
+// onFrameMiss must be called for every demand miss on a frame: it
+// finalises the active record and any deferred early check. The caller
+// then schedules the next prediction.
+func (e *engine) onFrameMiss(frame int, missBlock, now uint64) {
+	if ec := &e.earlyCheck[frame]; ec.valid {
+		if missBlock != ec.displace {
+			e.record(Early, missBlock == ec.predTag)
+			ec.valid = false
+		}
+		// A reload of the displaced block keeps the check pending.
+	}
+	if r := e.byFrame[frame]; r != nil && r.state != stDone {
+		e.classify(r, missBlock, false, now)
+	}
+}
+
+// onFrameHit must be called for demand hits on a frame whose resident was
+// prefetched and untouched: it finalises the record as timely-correct.
+func (e *engine) onFrameHit(frame int, block, now uint64) {
+	if r := e.byFrame[frame]; r != nil && r.state != stDone && block == r.block {
+		e.classify(r, block, true, now)
+	}
+}
+
+// resetStats clears tallies but keeps live records.
+func (e *engine) resetStats() {
+	e.timeliness = Timeliness{}
+	e.addr = stats.BinaryPredictionTally{}
+	e.scheduled, e.issued = 0, 0
+}

@@ -1,0 +1,103 @@
+package prefetch
+
+import (
+	"timekeeping/internal/cache"
+	"timekeeping/internal/hier"
+)
+
+// NextLine is a tagged sequential (next-line) prefetcher — the classic
+// time-independent baseline (Smith's "Cache memories", which the paper
+// groups with the event-ordering approaches it argues against). On a miss
+// to block B it prefetches B+1; on the first demand touch of a
+// prefetched block it prefetches the following line, so a consumed
+// sequential stream keeps running ahead.
+//
+// It is included as an extension beyond the paper's own comparison to
+// show what the timekeeping machinery buys over the cheapest possible
+// prefetcher: next-line matches it on pure sequential streams but has no
+// answer for pointer chases, strided scans, or conflict traffic, and it
+// never knows *when* to prefetch (it always fires immediately).
+type NextLine struct {
+	cfg        Config
+	l1         *cache.Cache
+	eng        *engine
+	prefetched map[uint64]bool // blocks installed by prefetch, not yet touched
+}
+
+// NewNextLine builds a tagged next-line prefetcher.
+func NewNextLine(cfg Config, l1 *cache.Cache) *NextLine {
+	if cfg.QueueEntries < 1 {
+		panic("prefetch: queue must have >= 1 entry")
+	}
+	return &NextLine{
+		cfg:        cfg,
+		l1:         l1,
+		eng:        newEngine(l1.NumFrames(), cfg.QueueEntries),
+		prefetched: make(map[uint64]bool),
+	}
+}
+
+// OnAccess implements hier.Observer.
+func (p *NextLine) OnAccess(ev *hier.AccessEvent) {
+	next := ev.Block + p.l1.Config().BlockBytes
+	if ev.Hit {
+		p.eng.onFrameHit(ev.Frame, ev.Block, ev.Now)
+		// Tagged: only the first touch of a prefetched block re-arms.
+		if p.prefetched[ev.Block] {
+			delete(p.prefetched, ev.Block)
+			p.arm(next, ev.Now)
+		}
+		return
+	}
+	p.eng.onFrameMiss(ev.Frame, ev.Block, ev.Now)
+	delete(p.prefetched, ev.Block)
+	p.arm(next, ev.Now)
+}
+
+// arm schedules an immediate prefetch of the block (into its own frame).
+// Unlike the timekeeping prefetcher there is no dead-point estimate to
+// wait for: classic next-line fires right away, which is also its
+// weakness — it can displace a live block in the target frame.
+func (p *NextLine) arm(block, now uint64) {
+	frame := p.l1.FrameOf(p.l1.Set(block), 0)
+	resident, _ := p.l1.FrameAddr(frame)
+	p.eng.schedule(frame, block, resident, now)
+}
+
+// Due implements hier.Prefetcher.
+func (p *NextLine) Due(now uint64, max int) []hier.PrefetchRequest {
+	reqs := p.eng.due(now, max)
+	if len(reqs) == 0 {
+		return nil
+	}
+	out := make([]hier.PrefetchRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = hier.PrefetchRequest{ID: r.seq, Block: r.block}
+	}
+	return out
+}
+
+// Filled implements hier.Prefetcher.
+func (p *NextLine) Filled(id uint64, at uint64, frame int, victim cache.Victim) {
+	p.eng.filled(id, at)
+	if r, ok := p.eng.bySeq[id]; ok {
+		p.prefetched[r.block] = true
+	}
+	// Bound the tag set: it only needs to cover resident blocks.
+	if len(p.prefetched) > p.l1.NumFrames() {
+		for b := range p.prefetched {
+			if _, hit := p.l1.Probe(b); !hit {
+				delete(p.prefetched, b)
+			}
+		}
+	}
+}
+
+// Timeliness returns the classification tallies.
+func (p *NextLine) Timeliness() Timeliness { return p.eng.timeliness }
+
+// Issued returns the number of prefetches handed to the hierarchy.
+func (p *NextLine) Issued() uint64 { return p.eng.issued }
+
+// ResetStats clears tallies.
+func (p *NextLine) ResetStats() { p.eng.resetStats() }

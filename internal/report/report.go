@@ -1,0 +1,125 @@
+// Package report renders experiment output as aligned plain-text tables,
+// one per paper table or figure.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells with optional footnotes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row; cells are used as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// PctPoints formats an already-in-percent value.
+func PctPoints(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Int formats an integer count.
+func Int(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// Bar renders a proportional ASCII bar for a fraction of fullScale, at
+// most width characters, so distribution tables read like the paper's bar
+// charts. Zero-width input or non-positive scale yields an empty string.
+func Bar(value, fullScale float64, width int) string {
+	if fullScale <= 0 || value <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / fullScale * float64(width))
+	if n > width {
+		n = width
+	}
+	if n == 0 {
+		n = 1 // visible trace for any nonzero value
+	}
+	return strings.Repeat("#", n)
+}
+
+// CSV renders the table as comma-separated values (header + rows). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

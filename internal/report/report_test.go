@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Demo", Columns: []string{"bench", "ipc"}}
+	tb.AddRow("gcc", "1.25")
+	tb.AddRow("mcf", "0.04")
+	tb.AddNote("n=%d", 2)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "gcc") {
+		t.Fatal("missing content")
+	}
+	if !strings.Contains(out, "note: n=2") {
+		t.Fatal("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestColumnAlignment(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow("longvalue", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header 'a' padded to width of "longvalue": column b starts at the
+	// same offset in header and data rows.
+	if strings.Index(lines[0], "b") != strings.Index(lines[2], "x") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestRowWiderThanColumns(t *testing.T) {
+	tb := &Table{Columns: []string{"a"}}
+	tb.AddRow("1", "extra")
+	if !strings.Contains(tb.String(), "extra") {
+		t.Fatal("extra cell dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F")
+	}
+	if Pct(0.125) != "12.5%" {
+		t.Fatal("Pct")
+	}
+	if PctPoints(12.5) != "12.5%" {
+		t.Fatal("PctPoints")
+	}
+	if Int(42) != "42" {
+		t.Fatal("Int")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(50, 100, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(0.5, 100, 20); got != "#" {
+		t.Fatalf("tiny value should show a trace: %q", got)
+	}
+	if got := Bar(200, 100, 10); got != "##########" {
+		t.Fatalf("Bar should clamp: %q", got)
+	}
+	if Bar(0, 100, 10) != "" || Bar(5, 0, 10) != "" || Bar(5, 100, 0) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `say "hi"`)
+	got := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

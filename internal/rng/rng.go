@@ -1,0 +1,141 @@
+// Package rng provides a small deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The simulator must produce bit-identical results for a given seed across
+// platforms and Go releases, because every experiment in the paper is a
+// statement about distributions collected from a fixed run. The standard
+// library's math/rand historically changed its stream between releases, so
+// we carry our own xoshiro256** generator seeded through splitmix64, the
+// combination recommended by Blackman and Vigna.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct one with New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from the given seed via splitmix64, so that
+// nearby seeds still produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator state as if it had been created by New(seed).
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// xoshiro must not start from the all-zero state; splitmix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint32 returns a uniform 32-bit value.
+func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling to remove modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v <= max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (number of failures before the first success, mean m >= 0). It is used
+// for inter-reference gaps. Returns 0 when m <= 0.
+func (r *Source) Geometric(m float64) int {
+	if m <= 0 {
+		return 0
+	}
+	p := 1 / (m + 1)
+	// Inverse transform sampling; cap to keep pathological tails bounded.
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-18
+	}
+	n := int(math.Log(u) / math.Log(1-p))
+	const maxGap = 1 << 20
+	if n < 0 {
+		return 0
+	}
+	if n > maxGap {
+		return maxGap
+	}
+	return n
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim ties workload, CPU model and memory hierarchy into complete
+// simulation runs — the equivalent of one SimpleScalar invocation in the
+// paper's methodology. A run warms caches and predictors for WarmupRefs
+// references, resets all statistics, then measures MeasureRefs references.
+package sim
+
+import (
+	"fmt"
+
+	"timekeeping/internal/core"
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/prefetch"
+	"timekeeping/internal/trace"
+	"timekeeping/internal/victim"
+	"timekeeping/internal/workload"
+)
+
+// VictimFilter selects the victim-cache admission policy.
+type VictimFilter string
+
+// Victim-cache configurations (Figure 13).
+const (
+	VictimOff      VictimFilter = ""         // no victim cache
+	VictimNone     VictimFilter = "none"     // unfiltered
+	VictimCollins  VictimFilter = "collins"  // extra-tag conflict filter
+	VictimDecay    VictimFilter = "decay"    // timekeeping dead-time filter
+	VictimAdaptive VictimFilter = "adaptive" // run-time-tuned dead-time filter (paper's future-work sketch)
+	VictimReload   VictimFilter = "reload"   // reload-interval filter (the paper's L2-located alternative)
+)
+
+// Prefetcher selects the prefetch mechanism.
+type Prefetcher string
+
+// Prefetcher configurations (Figure 19, plus the next-line extension).
+const (
+	PrefetchOff      Prefetcher = ""
+	PrefetchTK       Prefetcher = "timekeeping"
+	PrefetchDBCP     Prefetcher = "dbcp"
+	PrefetchNextLine Prefetcher = "nextline"
+)
+
+// Options configures one run. The zero value plus Default() gives the
+// Table 1 baseline.
+type Options struct {
+	Hier hier.Config
+	CPU  cpu.Config
+
+	VictimEntries int
+	VictimFilter  VictimFilter
+	// VictimDecayThreshold overrides the decay filter's dead-time
+	// threshold in cycles (0 = the paper's 1K-cycle 2-bit counter).
+	VictimDecayThreshold uint64
+
+	Prefetcher Prefetcher
+	// Corr sizes the timekeeping correlation table (zero value = the
+	// paper's 8 KB table).
+	Corr core.CorrConfig
+	// DBCPEntries sizes the DBCP table (0 = the paper's 2 MB).
+	DBCPEntries int
+	// LiveTimeScale overrides the dead-point factor (0 = the paper's 2).
+	LiveTimeScale uint64
+
+	// Track attaches the timekeeping tracker (needed by the metric and
+	// predictor experiments; costs some simulation speed).
+	Track bool
+
+	// DropSWPrefetch removes compiler software prefetches from the
+	// reference stream (the paper's Section 5 sensitivity experiment).
+	DropSWPrefetch bool
+
+	WarmupRefs  uint64
+	MeasureRefs uint64
+	Seed        uint64
+}
+
+// Default returns the paper's baseline configuration at a simulation scale
+// suited to the synthetic workloads (they reach steady state far faster
+// than 2B-instruction SPEC runs).
+func Default() Options {
+	return Options{
+		Hier:        hier.DefaultConfig(),
+		CPU:         cpu.DefaultConfig(),
+		WarmupRefs:  150_000,
+		MeasureRefs: 600_000,
+		Seed:        1,
+	}
+}
+
+// Result is everything a run produced over the measurement window.
+type Result struct {
+	Bench string
+	CPU   cpu.Result
+	Hier  hier.Stats
+
+	Victim  *victim.Stats
+	Tracker *core.Metrics
+
+	// Prefetch outputs (nil unless a prefetcher was attached).
+	PFTimeliness *prefetch.Timeliness
+	PFAddrAcc    float64 // address accuracy over finished predictions
+	PFCoverage   float64 // predictor hit rate
+	PFIssued     uint64
+}
+
+// IPC returns the measured-window IPC.
+func (r Result) IPC() float64 { return r.CPU.IPC }
+
+// VictimFillPerCycle returns victim-cache insertions per cycle (the fill
+// traffic metric of Figure 13).
+func (r Result) VictimFillPerCycle() float64 {
+	if r.Victim == nil || r.CPU.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Victim.Admitted) / float64(r.CPU.Cycles)
+}
+
+// Run simulates the benchmark under the given options.
+func Run(spec workload.Spec, opt Options) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	return RunStream(spec.Name, spec.Stream(opt.Seed), opt)
+}
+
+// RunStream simulates an arbitrary reference stream (e.g. a saved trace
+// file) under the given options; name labels the result.
+func RunStream(name string, stream trace.Stream, opt Options) (Result, error) {
+	if err := opt.Hier.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := opt.CPU.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opt.MeasureRefs == 0 {
+		return Result{}, fmt.Errorf("sim: MeasureRefs must be > 0")
+	}
+
+	h := hier.New(opt.Hier)
+
+	var vc *victim.Cache
+	if opt.VictimFilter != VictimOff {
+		entries := opt.VictimEntries
+		if entries == 0 {
+			entries = 32
+		}
+		var filter victim.Filter
+		switch opt.VictimFilter {
+		case VictimNone:
+			filter = victim.NoFilter{}
+		case VictimCollins:
+			filter = victim.NewCollinsFilter(h.L1().NumFrames())
+		case VictimDecay:
+			if opt.VictimDecayThreshold > 0 {
+				filter = victim.NewDecayFilterThreshold(opt.VictimDecayThreshold)
+			} else {
+				filter = victim.NewDecayFilter()
+			}
+		case VictimAdaptive:
+			filter = victim.NewAdaptiveFilter(entries, 0)
+		case VictimReload:
+			filter = victim.NewReloadFilter(0)
+		default:
+			return Result{}, fmt.Errorf("sim: unknown victim filter %q", opt.VictimFilter)
+		}
+		vc = victim.New(entries, filter)
+		h.AttachVictim(vc)
+	}
+
+	var tk *prefetch.Timekeeping
+	var dbcp *prefetch.DBCP
+	var nl *prefetch.NextLine
+	switch opt.Prefetcher {
+	case PrefetchOff:
+	case PrefetchTK:
+		pcfg := prefetch.DefaultConfig()
+		if opt.LiveTimeScale > 0 {
+			pcfg.LiveTimeScale = opt.LiveTimeScale
+		}
+		ccfg := opt.Corr
+		if ccfg == (core.CorrConfig{}) {
+			ccfg = core.DefaultCorrConfig()
+		}
+		tk = prefetch.NewTimekeeping(pcfg, core.NewCorrTable(ccfg), h.L1())
+		h.AttachPrefetcher(tk)
+	case PrefetchDBCP:
+		entries := opt.DBCPEntries
+		if entries == 0 {
+			entries = prefetch.DBCPEntries
+		}
+		dbcp = prefetch.NewDBCP(prefetch.DefaultConfig(), entries, h.L1())
+		h.AttachPrefetcher(dbcp)
+	case PrefetchNextLine:
+		nl = prefetch.NewNextLine(prefetch.DefaultConfig(), h.L1())
+		h.AttachPrefetcher(nl)
+	default:
+		return Result{}, fmt.Errorf("sim: unknown prefetcher %q", opt.Prefetcher)
+	}
+
+	var tracker *core.Tracker
+	if opt.Track {
+		tracker = core.NewTracker(h.L1().NumFrames())
+		h.AddObserver(tracker)
+	}
+
+	if opt.DropSWPrefetch {
+		stream = &trace.DropSWPrefetch{S: stream}
+	}
+
+	m := cpu.New(opt.CPU, h)
+	warm := m.Run(stream, opt.WarmupRefs)
+
+	// Measurement window: reset statistics, keep all state.
+	h.ResetStats()
+	if vc != nil {
+		vc.ResetStats()
+	}
+	if tk != nil {
+		tk.ResetStats()
+	}
+	if dbcp != nil {
+		dbcp.ResetStats()
+	}
+	if nl != nil {
+		nl.ResetStats()
+	}
+	if tracker != nil {
+		tracker.Reset()
+	}
+
+	final := m.Run(stream, opt.MeasureRefs)
+
+	res := Result{
+		Bench: name,
+		CPU:   final.Minus(warm),
+		Hier:  h.Stats(),
+	}
+	if vc != nil {
+		s := vc.Stats()
+		res.Victim = &s
+	}
+	if tracker != nil {
+		res.Tracker = tracker.Metrics()
+	}
+	if tk != nil {
+		tl := tk.Timeliness()
+		res.PFTimeliness = &tl
+		res.PFAddrAcc = tk.AddressTally().Accuracy()
+		res.PFCoverage = tk.Coverage()
+		res.PFIssued = tk.Issued()
+	}
+	if dbcp != nil {
+		tl := dbcp.Timeliness()
+		res.PFTimeliness = &tl
+		res.PFIssued = dbcp.Issued()
+	}
+	if nl != nil {
+		tl := nl.Timeliness()
+		res.PFTimeliness = &tl
+		res.PFIssued = nl.Issued()
+	}
+	return res, nil
+}
+
+// MustRun is Run for known-good options; it panics on error.
+func MustRun(spec workload.Spec, opt Options) Result {
+	r, err := Run(spec, opt)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Improvement returns the percent IPC improvement of r over base.
+func Improvement(r, base Result) float64 {
+	if base.CPU.IPC == 0 {
+		return 0
+	}
+	return 100 * (r.CPU.IPC - base.CPU.IPC) / base.CPU.IPC
+}

@@ -1,0 +1,99 @@
+package stats
+
+// BinaryPredictionTally accumulates the outcome counts behind the paper's
+// accuracy/coverage bars (Figures 11, 16, 20): how often a predictor spoke,
+// how often it was right, and how many events it should ideally have
+// covered.
+type BinaryPredictionTally struct {
+	Predictions uint64 // times the predictor made a prediction
+	Correct     uint64 // predictions that were right
+	Events      uint64 // total events the predictor could have covered
+}
+
+// Record adds one event. predicted says whether a prediction was made;
+// correct is only meaningful when predicted is true.
+func (t *BinaryPredictionTally) Record(predicted, correct bool) {
+	t.Events++
+	if predicted {
+		t.Predictions++
+		if correct {
+			t.Correct++
+		}
+	}
+}
+
+// Accuracy is Correct/Predictions: the likelihood a made prediction is
+// right. Returns 0 when no predictions were made.
+func (t BinaryPredictionTally) Accuracy() float64 {
+	if t.Predictions == 0 {
+		return 0
+	}
+	return float64(t.Correct) / float64(t.Predictions)
+}
+
+// Coverage is Correct/Events for "fraction of the target events captured"
+// semantics (the paper's conflict-miss coverage), i.e. how many of the
+// events we were trying to find were found by a correct prediction.
+func (t BinaryPredictionTally) Coverage() float64 {
+	if t.Events == 0 {
+		return 0
+	}
+	return float64(t.Correct) / float64(t.Events)
+}
+
+// PredictionRate is Predictions/Events: how often the predictor spoke at
+// all (the paper's dead-block "coverage").
+func (t BinaryPredictionTally) PredictionRate() float64 {
+	if t.Events == 0 {
+		return 0
+	}
+	return float64(t.Predictions) / float64(t.Events)
+}
+
+// ThresholdCurve evaluates a "predict positive when metric < threshold"
+// classifier over a set of thresholds, from two histograms of the metric:
+// one collected for true positives (e.g. conflict misses) and one for true
+// negatives (e.g. capacity misses). This is exactly how Figures 8 and 10
+// are constructed: accuracy(t) = conflictBelow(t) / allBelow(t) and
+// coverage(t) = conflictBelow(t) / totalConflict.
+type ThresholdCurve struct {
+	Thresholds []uint64
+	Accuracy   []float64
+	Coverage   []float64
+}
+
+// NewThresholdCurve sweeps the given thresholds over positive/negative
+// metric histograms. Thresholds should be multiples of the histograms'
+// bucket width for exact results; both histograms must share a shape.
+func NewThresholdCurve(pos, neg *Hist, thresholds []uint64) ThresholdCurve {
+	c := ThresholdCurve{
+		Thresholds: append([]uint64(nil), thresholds...),
+		Accuracy:   make([]float64, len(thresholds)),
+		Coverage:   make([]float64, len(thresholds)),
+	}
+	totalPos := pos.Total()
+	for i, t := range thresholds {
+		pb := pos.CountBelow(t)
+		nb := neg.CountBelow(t)
+		if pb+nb > 0 {
+			c.Accuracy[i] = float64(pb) / float64(pb+nb)
+		}
+		if totalPos > 0 {
+			c.Coverage[i] = float64(pb) / float64(totalPos)
+		}
+	}
+	return c
+}
+
+// Knee returns the largest threshold whose accuracy is still at least
+// minAccuracy — the paper's "walk out along the accuracy curve" operating
+// point (16K cycles in Figure 8). Returns ok=false when no threshold
+// qualifies.
+func (c ThresholdCurve) Knee(minAccuracy float64) (threshold uint64, ok bool) {
+	for i := len(c.Thresholds) - 1; i >= 0; i-- {
+		if c.Accuracy[i] >= minAccuracy {
+			return c.Thresholds[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinaryPredictionTally(t *testing.T) {
+	var tally BinaryPredictionTally
+	tally.Record(true, true)
+	tally.Record(true, false)
+	tally.Record(false, false)
+	tally.Record(true, true)
+	if got := tally.Accuracy(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := tally.Coverage(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := tally.PredictionRate(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("prediction rate = %v", got)
+	}
+}
+
+func TestBinaryPredictionTallyEmpty(t *testing.T) {
+	var tally BinaryPredictionTally
+	if tally.Accuracy() != 0 || tally.Coverage() != 0 || tally.PredictionRate() != 0 {
+		t.Fatal("empty tally should report zeros")
+	}
+}
+
+func TestThresholdCurve(t *testing.T) {
+	// Positives (conflict) cluster low; negatives (capacity) cluster high.
+	pos := NewHist(1000, 100)
+	neg := NewHist(1000, 100)
+	for i := 0; i < 90; i++ {
+		pos.Add(uint64(i%8) * 1000) // < 8000
+	}
+	for i := 0; i < 10; i++ {
+		pos.Add(50000)
+	}
+	for i := 0; i < 95; i++ {
+		neg.Add(80000 + uint64(i)*100)
+	}
+	for i := 0; i < 5; i++ {
+		neg.Add(3000)
+	}
+	c := NewThresholdCurve(pos, neg, []uint64{1000, 8000, 64000, 1000000})
+
+	// At 8000: 90 positives below, 5 negatives below.
+	if got := c.Accuracy[1]; math.Abs(got-90.0/95) > 1e-9 {
+		t.Fatalf("accuracy@8000 = %v", got)
+	}
+	if got := c.Coverage[1]; math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("coverage@8000 = %v", got)
+	}
+	// Coverage is monotone non-decreasing in threshold.
+	for i := 1; i < len(c.Coverage); i++ {
+		if c.Coverage[i] < c.Coverage[i-1] {
+			t.Fatal("coverage not monotone")
+		}
+	}
+	// At a huge threshold everything is below: coverage 1.
+	if got := c.Coverage[3]; got != 1 {
+		t.Fatalf("coverage@1e6 = %v", got)
+	}
+}
+
+func TestThresholdCurveKnee(t *testing.T) {
+	pos := NewHist(1000, 100)
+	neg := NewHist(1000, 100)
+	for i := 0; i < 100; i++ {
+		pos.Add(2000)
+		neg.Add(90000)
+	}
+	c := NewThresholdCurve(pos, neg, []uint64{1000, 4000, 16000, 95000})
+	th, ok := c.Knee(0.95)
+	if !ok || th != 16000 {
+		t.Fatalf("knee = %d ok=%v, want 16000", th, ok)
+	}
+	// No threshold reaches accuracy 1.01.
+	if _, ok := c.Knee(1.01); ok {
+		t.Fatal("impossible knee found")
+	}
+}
+
+func TestThresholdCurveEmptyHists(t *testing.T) {
+	pos := NewHist(1000, 10)
+	neg := NewHist(1000, 10)
+	c := NewThresholdCurve(pos, neg, []uint64{1000})
+	if c.Accuracy[0] != 0 || c.Coverage[0] != 0 {
+		t.Fatal("empty curve should be zero")
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import "math"
+
+// DiffHist records signed differences in power-of-two buckets around zero,
+// matching the paper's live-time variability plot (Figure 15, top): one
+// central bucket for |d| < MinAbs, then buckets [MinAbs, 2*MinAbs),
+// [2*MinAbs, 4*MinAbs), ... on each side, clamped at Span doublings.
+type DiffHist struct {
+	MinAbs uint64 // central bucket half-width (the paper uses 16 cycles)
+	Span   int    // doublings on each side
+
+	counts []uint64 // 2*Span+1 buckets; index Span is the center
+	total  uint64
+}
+
+// NewDiffHist returns a signed difference histogram.
+func NewDiffHist(minAbs uint64, span int) *DiffHist {
+	if minAbs == 0 || span <= 0 {
+		panic("stats: NewDiffHist requires minAbs > 0 and span > 0")
+	}
+	return &DiffHist{MinAbs: minAbs, Span: span, counts: make([]uint64, 2*span+1)}
+}
+
+// Add records the difference cur - prev.
+func (d *DiffHist) Add(cur, prev uint64) {
+	var diff int64
+	if cur >= prev {
+		diff = int64(cur - prev)
+	} else {
+		diff = -int64(prev - cur)
+	}
+	d.counts[d.bucket(diff)]++
+	d.total++
+}
+
+// bucket maps a signed difference to its bucket index.
+func (d *DiffHist) bucket(diff int64) int {
+	abs := diff
+	if abs < 0 {
+		abs = -abs
+	}
+	if uint64(abs) < d.MinAbs {
+		return d.Span
+	}
+	k := int(math.Floor(math.Log2(float64(uint64(abs))/float64(d.MinAbs)))) + 1
+	if k > d.Span {
+		k = d.Span
+	}
+	if diff > 0 {
+		return d.Span + k
+	}
+	return d.Span - k
+}
+
+// Total returns the number of recorded differences.
+func (d *DiffHist) Total() uint64 { return d.total }
+
+// CenterFrac returns the fraction of differences with |d| < MinAbs — the
+// paper's ">20% of consecutive live-time differences are less than 16
+// cycles" statistic.
+func (d *DiffHist) CenterFrac() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.counts[d.Span]) / float64(d.total)
+}
+
+// Percent returns bucket i's share in percent; buckets run from most
+// negative (0) through the center (Span) to most positive (2*Span).
+func (d *DiffHist) Percent(i int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return 100 * float64(d.counts[i]) / float64(d.total)
+}
+
+// Buckets returns the number of buckets (2*Span+1).
+func (d *DiffHist) Buckets() int { return len(d.counts) }
+
+// BucketLabel returns a human-readable label for bucket i, e.g. "-64",
+// "0", "+128" (the edge closest to zero of the bucket's range).
+func (d *DiffHist) BucketLabel(i int) int64 {
+	k := i - d.Span
+	switch {
+	case k == 0:
+		return 0
+	case k > 0:
+		return int64(d.MinAbs) << (k - 1)
+	default:
+		return -(int64(d.MinAbs) << (-k - 1))
+	}
+}
+
+// Merge adds other's samples into d; shapes must match.
+func (d *DiffHist) Merge(other *DiffHist) {
+	if other.MinAbs != d.MinAbs || other.Span != d.Span {
+		panic("stats: Merge of incompatible diff histograms")
+	}
+	for i, c := range other.counts {
+		d.counts[i] += c
+	}
+	d.total += other.total
+}

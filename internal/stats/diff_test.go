@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiffHistCenter(t *testing.T) {
+	d := NewDiffHist(16, 9)
+	d.Add(100, 100) // diff 0
+	d.Add(110, 100) // diff 10 < 16
+	d.Add(100, 115) // diff -15
+	if d.CenterFrac() != 1 {
+		t.Fatalf("center frac = %v", d.CenterFrac())
+	}
+}
+
+func TestDiffHistBuckets(t *testing.T) {
+	cases := []struct {
+		cur, prev uint64
+		label     int64
+	}{
+		{116, 100, 16},    // +16 -> bucket [16,32)
+		{131, 100, 16},    // +31
+		{132, 100, 32},    // +32 -> [32,64)
+		{100, 116, -16},   // -16
+		{100, 164, -64},   // -64
+		{100000, 0, 4096}, // clamps at the top bucket (span 9: 16<<8)
+	}
+	for _, c := range cases {
+		d2 := NewDiffHist(16, 9)
+		d2.Add(c.cur, c.prev)
+		found := false
+		for i := 0; i < d2.Buckets(); i++ {
+			if d2.Percent(i) > 0 {
+				if got := d2.BucketLabel(i); got != c.label {
+					t.Fatalf("Add(%d,%d): bucket label %d, want %d", c.cur, c.prev, got, c.label)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Add(%d,%d): sample lost", c.cur, c.prev)
+		}
+	}
+}
+
+func TestDiffHistPercentsSum(t *testing.T) {
+	d := NewDiffHist(16, 9)
+	for i := uint64(0); i < 1000; i++ {
+		d.Add(i*7%5000, i*13%5000)
+	}
+	sum := 0.0
+	for i := 0; i < d.Buckets(); i++ {
+		sum += d.Percent(i)
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percent sum = %v", sum)
+	}
+	if d.Total() != 1000 {
+		t.Fatalf("total = %d", d.Total())
+	}
+}
+
+func TestDiffHistMerge(t *testing.T) {
+	a := NewDiffHist(16, 4)
+	b := NewDiffHist(16, 4)
+	a.Add(0, 0)
+	b.Add(100, 0)
+	a.Merge(b)
+	if a.Total() != 2 {
+		t.Fatalf("total = %d", a.Total())
+	}
+}
+
+func TestDiffHistMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDiffHist(16, 4).Merge(NewDiffHist(8, 4))
+}
+
+func TestDiffHistBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDiffHist(0, 4)
+}

@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"timekeeping/internal/stats"
+)
+
+// ThresholdCurve reproduces the paper's accuracy/coverage sweeps: collect
+// the metric separately for true positives and negatives, then evaluate
+// "predict positive when metric < threshold" at each threshold.
+func ExampleNewThresholdCurve() {
+	conflict := stats.NewHist(1000, 100) // reload intervals of conflict misses
+	capacity := stats.NewHist(1000, 100) // reload intervals of capacity misses
+	for i := 0; i < 90; i++ {
+		conflict.Add(4_000)
+		capacity.Add(400_000)
+	}
+	for i := 0; i < 10; i++ {
+		conflict.Add(300_000)
+		capacity.Add(8_000)
+	}
+
+	curve := stats.NewThresholdCurve(conflict, capacity, []uint64{16_000, 1_000_000})
+	fmt.Printf("@16K:  accuracy %.2f coverage %.2f\n", curve.Accuracy[0], curve.Coverage[0])
+	fmt.Printf("@1M:   accuracy %.2f coverage %.2f\n", curve.Accuracy[1], curve.Coverage[1])
+	// Output:
+	// @16K:  accuracy 0.90 coverage 0.90
+	// @1M:   accuracy 0.50 coverage 1.00
+}
+
+// Hist mirrors the paper's distribution plots: fixed-width buckets with a
+// final overflow bucket.
+func ExampleHist() {
+	h := stats.NewHist(100, 100) // 100-cycle buckets, ">100" overflow
+	for _, liveTime := range []uint64{30, 80, 250, 40_000} {
+		h.Add(liveTime)
+	}
+	fmt.Printf("%.0f%% of live times are 100 cycles or less\n", 100*h.FracBelow(100))
+	// Output: 50% of live times are 100 cycles or less
+}

@@ -1,0 +1,290 @@
+// Package stats provides the statistical containers the paper's figures are
+// built from: fixed-width bucket histograms with an overflow bucket (the
+// "x100 cycles ... >100" plots), log-spaced ratio distributions, and
+// threshold-sweep accuracy/coverage curves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hist is a fixed-bucket-width histogram with a final overflow bucket,
+// mirroring the paper's distribution plots: bucket i counts samples in
+// [i*Width, (i+1)*Width), and samples >= Buckets*Width land in the overflow
+// bucket. The zero value is not usable; construct with NewHist.
+type Hist struct {
+	Width   uint64 // bucket width in cycles
+	Buckets int    // number of regular buckets (excluding overflow)
+
+	counts   []uint64 // len Buckets+1; last is overflow
+	total    uint64
+	sum      float64
+	min, max uint64
+}
+
+// NewHist returns a histogram with the given bucket width and count.
+func NewHist(width uint64, buckets int) *Hist {
+	if width == 0 || buckets <= 0 {
+		panic("stats: NewHist requires width > 0 and buckets > 0")
+	}
+	return &Hist{
+		Width:   width,
+		Buckets: buckets,
+		counts:  make([]uint64, buckets+1),
+		min:     math.MaxUint64,
+	}
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	i := int(v / h.Width)
+	if i >= h.Buckets {
+		i = h.Buckets
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of samples recorded.
+func (h *Hist) Total() uint64 { return h.total }
+
+// Count returns the raw count of bucket i; i == Buckets is the overflow
+// bucket.
+func (h *Hist) Count(i int) uint64 { return h.counts[i] }
+
+// Percent returns bucket i's share of all samples in percent, 0 if empty.
+func (h *Hist) Percent(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[i]) / float64(h.total)
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 if empty).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the extreme recorded samples; both are 0 when empty.
+func (h *Hist) Min() uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Hist) Max() uint64 { return h.max }
+
+// FracBelow returns the fraction of samples strictly below limit, computed
+// from bucket boundaries; limit should be a multiple of Width for an exact
+// answer.
+func (h *Hist) FracBelow(limit uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var below uint64
+	n := int(limit / h.Width)
+	if n > h.Buckets {
+		n = h.Buckets + 1
+	}
+	for i := 0; i < n; i++ {
+		below += h.counts[i]
+	}
+	return float64(below) / float64(h.total)
+}
+
+// CountBelow returns the number of samples in buckets entirely below limit.
+func (h *Hist) CountBelow(limit uint64) uint64 {
+	var below uint64
+	n := int(limit / h.Width)
+	if n > h.Buckets {
+		n = h.Buckets + 1
+	}
+	for i := 0; i < n; i++ {
+		below += h.counts[i]
+	}
+	return below
+}
+
+// OverflowPercent returns the overflow bucket's share, the ">100" annotation
+// in the paper's plots.
+func (h *Hist) OverflowPercent() float64 { return h.Percent(h.Buckets) }
+
+// Merge adds other's samples into h. Panics if the shapes differ.
+func (h *Hist) Merge(other *Hist) {
+	if other.Width != h.Width || other.Buckets != h.Buckets {
+		panic("stats: Merge of incompatible histograms")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// String renders the histogram as "bucket%" pairs for quick inspection.
+func (h *Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist(width=%d n=%d total=%d mean=%.1f)", h.Width, h.Buckets, h.total, h.Mean())
+	return b.String()
+}
+
+// RatioHist records ratios of consecutive measurements in power-of-two
+// buckets from 1/2^Span to 2^Span, matching the cumulative live-time ratio
+// plot (Figure 15, bottom). Bucket k in [-Span, Span] holds ratios in
+// [2^k, 2^(k+1)); values below or above are clamped to the end buckets.
+type RatioHist struct {
+	Span   int
+	counts []uint64
+	total  uint64
+}
+
+// NewRatioHist returns a ratio histogram covering [2^-span, 2^span].
+func NewRatioHist(span int) *RatioHist {
+	if span <= 0 {
+		panic("stats: NewRatioHist requires span > 0")
+	}
+	return &RatioHist{Span: span, counts: make([]uint64, 2*span+1)}
+}
+
+// Add records the ratio cur/prev. prev == 0 records the top bucket when cur
+// is nonzero and ratio 1 when both are zero.
+func (r *RatioHist) Add(cur, prev uint64) {
+	var k int
+	switch {
+	case prev == 0 && cur == 0:
+		k = 0
+	case prev == 0:
+		k = r.Span
+	case cur == 0:
+		k = -r.Span
+	default:
+		k = int(math.Floor(math.Log2(float64(cur) / float64(prev))))
+	}
+	if k < -r.Span {
+		k = -r.Span
+	}
+	if k > r.Span {
+		k = r.Span
+	}
+	r.counts[k+r.Span]++
+	r.total++
+}
+
+// Cumulative returns, for each bucket boundary 2^k with k in [-Span, Span],
+// the fraction of samples with ratio < 2^(k+1) — the cumulative curve the
+// paper plots.
+func (r *RatioHist) Cumulative() []float64 {
+	out := make([]float64, len(r.counts))
+	var run uint64
+	for i, c := range r.counts {
+		run += c
+		if r.total == 0 {
+			out[i] = 0
+		} else {
+			out[i] = float64(run) / float64(r.total)
+		}
+	}
+	return out
+}
+
+// Total returns the number of recorded ratios.
+func (r *RatioHist) Total() uint64 { return r.total }
+
+// Merge adds other's samples into r; spans must match.
+func (r *RatioHist) Merge(other *RatioHist) {
+	if other.Span != r.Span {
+		panic("stats: Merge of incompatible ratio histograms")
+	}
+	for i, c := range other.counts {
+		r.counts[i] += c
+	}
+	r.total += other.total
+}
+
+// FracWithin returns the fraction of ratios within [2^-k, 2^k).
+func (r *RatioHist) FracWithin(k int) float64 {
+	if r.total == 0 {
+		return 0
+	}
+	if k > r.Span {
+		k = r.Span
+	}
+	var n uint64
+	for i := -k; i < k; i++ {
+		n += r.counts[i+r.Span]
+	}
+	return float64(n) / float64(r.total)
+}
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries
+// the way the paper's "[geomean]" bars do. Returns 0 when no entry is
+// positive.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using
+// nearest-rank on a sorted copy. Returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}

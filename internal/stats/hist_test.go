@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBucketing(t *testing.T) {
+	h := NewHist(100, 10)
+	h.Add(0)
+	h.Add(99)
+	h.Add(100)
+	h.Add(999)
+	h.Add(1000) // overflow
+	h.Add(5000) // overflow
+	if got := h.Count(0); got != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.Count(1); got != 1 {
+		t.Fatalf("bucket 1 = %d, want 1", got)
+	}
+	if got := h.Count(9); got != 1 {
+		t.Fatalf("bucket 9 = %d, want 1", got)
+	}
+	if got := h.Count(10); got != 2 {
+		t.Fatalf("overflow = %d, want 2", got)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistPercentSumsTo100(t *testing.T) {
+	h := NewHist(100, 100)
+	for i := uint64(0); i < 1000; i++ {
+		h.Add(i * 37 % 15000)
+	}
+	sum := 0.0
+	for i := 0; i <= h.Buckets; i++ {
+		sum += h.Percent(i)
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percent sum = %v", sum)
+	}
+}
+
+func TestHistMeanMinMax(t *testing.T) {
+	h := NewHist(10, 5)
+	for _, v := range []uint64{5, 15, 25} {
+		h.Add(v)
+	}
+	if h.Mean() != 15 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 5 || h.Max() != 25 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist(10, 5)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percent(0) != 0 || h.FracBelow(100) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistFracBelow(t *testing.T) {
+	h := NewHist(100, 10)
+	for _, v := range []uint64{50, 150, 250, 2000} {
+		h.Add(v)
+	}
+	if got := h.FracBelow(200); got != 0.5 {
+		t.Fatalf("FracBelow(200) = %v, want 0.5", got)
+	}
+	if got := h.FracBelow(100000); got != 1 {
+		t.Fatalf("FracBelow(huge) = %v, want 1", got)
+	}
+	if got := h.CountBelow(100); got != 1 {
+		t.Fatalf("CountBelow(100) = %d, want 1", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist(100, 10)
+	b := NewHist(100, 10)
+	a.Add(50)
+	b.Add(150)
+	b.Add(5000)
+	a.Merge(b)
+	if a.Total() != 3 || a.Count(0) != 1 || a.Count(1) != 1 || a.Count(10) != 1 {
+		t.Fatalf("merge wrong: total=%d", a.Total())
+	}
+	if a.Min() != 50 || a.Max() != 5000 {
+		t.Fatalf("merge min/max = %d/%d", a.Min(), a.Max())
+	}
+}
+
+func TestHistMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHist(100, 10).Merge(NewHist(10, 10))
+}
+
+// Property: total always equals number of Add calls and percents sum to 100.
+func TestHistTotalProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHist(64, 8)
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		if h.Total() != uint64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sum := 0.0
+		for i := 0; i <= h.Buckets; i++ {
+			sum += h.Percent(i)
+		}
+		return math.Abs(sum-100) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioHist(t *testing.T) {
+	r := NewRatioHist(4)
+	r.Add(100, 100) // ratio 1 -> bucket 0
+	r.Add(200, 100) // ratio 2 -> bucket 1
+	r.Add(50, 100)  // ratio 0.5 -> bucket -1
+	r.Add(1, 10000) // clamps to -Span
+	r.Add(10000, 1) // clamps to +Span
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	cum := r.Cumulative()
+	if len(cum) != 9 {
+		t.Fatalf("cumulative len = %d", len(cum))
+	}
+	if cum[len(cum)-1] != 1 {
+		t.Fatalf("last cumulative = %v, want 1", cum[len(cum)-1])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatal("cumulative not monotone")
+		}
+	}
+}
+
+func TestRatioHistZeroHandling(t *testing.T) {
+	r := NewRatioHist(3)
+	r.Add(0, 0) // both zero -> ratio 1 bucket
+	r.Add(5, 0) // prev zero -> top bucket
+	r.Add(0, 5) // cur zero -> bottom bucket
+	if r.Total() != 3 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	// FracWithin(1) counts ratios in [1/2, 2): only the both-zero sample.
+	if got := r.FracWithin(1); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("FracWithin(1) = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Geomean = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %v", got)
+	}
+	// Non-positive entries ignored.
+	if got := Geomean([]float64{-5, 0, 2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Geomean with junk = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a 8-byte magic+version header followed by one
+// varint-encoded record per reference. Addresses are delta-encoded
+// (zig-zag) against the previous address because real reference streams
+// are locality-heavy, which makes the deltas small and the file compact.
+const (
+	magic   = "TKTRACE1"
+	flagDep = 1 << 2 // kind occupies bits 0-1
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace data")
+
+// Writer encodes references to an underlying io.Writer. Close (or Flush)
+// must be called to ensure all data reaches the destination.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	started  bool
+	buf      [3 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes a trace header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write encodes one reference.
+func (w *Writer) Write(r Ref) error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", r.Kind)
+	}
+	flags := uint64(r.Kind)
+	if r.DepPrev {
+		flags |= flagDep
+	}
+	n := binary.PutUvarint(w.buf[:], flags)
+	delta := int64(r.Addr - w.prevAddr)
+	if !w.started {
+		delta = int64(r.Addr)
+		w.started = true
+	}
+	n += binary.PutVarint(w.buf[n:], delta)
+	n += binary.PutUvarint(w.buf[n:], uint64(r.Gap))
+	n += binary.PutUvarint(w.buf[n:], uint64(r.PC))
+	w.prevAddr = r.Addr
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace written by Writer; it implements Stream.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	started  bool
+	err      error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Stream. After Next returns false, Err distinguishes
+// normal end-of-trace from a decode error.
+func (t *Reader) Next(r *Ref) bool {
+	if t.err != nil {
+		return false
+	}
+	flags, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if err != io.EOF {
+			t.err = fmt.Errorf("trace: reading flags: %w", err)
+		}
+		return false
+	}
+	kind := Kind(flags & 0b11)
+	if !kind.Valid() {
+		t.err = fmt.Errorf("%w: kind %d", ErrBadTrace, kind)
+		return false
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("%w: truncated address", ErrBadTrace)
+		return false
+	}
+	gap, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("%w: truncated gap", ErrBadTrace)
+		return false
+	}
+	pc, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("%w: truncated pc", ErrBadTrace)
+		return false
+	}
+	if gap > 1<<32-1 || pc > 1<<32-1 {
+		t.err = fmt.Errorf("%w: field out of range", ErrBadTrace)
+		return false
+	}
+	var addr uint64
+	if t.started {
+		addr = t.prevAddr + uint64(delta)
+	} else {
+		addr = uint64(delta)
+		t.started = true
+	}
+	t.prevAddr = addr
+	*r = Ref{Addr: addr, PC: uint32(pc), Gap: uint32(gap), Kind: kind, DepPrev: flags&flagDep != 0}
+	return true
+}
+
+// Err returns the first decode error encountered, or nil at clean EOF.
+func (t *Reader) Err() error { return t.err }

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"timekeeping/internal/rng"
+)
+
+func roundTrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Ref
+	var r Ref
+	for rd.Next(&r) {
+		out = append(out, r)
+	}
+	if rd.Err() != nil {
+		t.Fatal(rd.Err())
+	}
+	return out
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x1000, PC: 1, Gap: 3, Kind: Load},
+		{Addr: 0x1020, PC: 2, Gap: 0, Kind: Store, DepPrev: true},
+		{Addr: 0x8, PC: 3, Gap: 100000, Kind: SWPrefetch},
+		{Addr: ^uint64(0), PC: ^uint32(0), Gap: ^uint32(0), Kind: Load},
+		{Addr: 0, Kind: Load},
+	}
+	got := roundTrip(t, refs)
+	if !reflect.DeepEqual(got, refs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, refs)
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Fatalf("empty trace decoded %d refs", len(got))
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCodecRejectsTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("TK"))); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestCodecTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Ref{Addr: 123456789, Gap: 7, Kind: Load}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Chop off the final byte: the record becomes unreadable.
+	rd, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Ref
+	if rd.Next(&r) {
+		t.Fatal("truncated record decoded")
+	}
+	if rd.Err() == nil {
+		t.Fatal("truncated record produced no error")
+	}
+}
+
+func TestCodecRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Ref{Kind: Kind(7)}); err == nil {
+		t.Fatal("invalid kind accepted by writer")
+	}
+}
+
+func TestCodecDeltaCompression(t *testing.T) {
+	// Sequential addresses should encode in very few bytes per record.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := w.Write(Ref{Addr: 0x10000000 + uint64(i)*32, Kind: Load}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()-8) / n
+	if perRecord > 5 {
+		t.Fatalf("sequential trace uses %.1f bytes/record, want <= 5", perRecord)
+	}
+}
+
+// Property: arbitrary reference sequences survive a round trip.
+func TestCodecRoundTripProperty(t *testing.T) {
+	r := rng.New(99)
+	f := func(n uint8) bool {
+		refs := make([]Ref, int(n)%64)
+		for i := range refs {
+			refs[i] = Ref{
+				Addr:    r.Uint64(),
+				PC:      r.Uint32(),
+				Gap:     uint32(r.Uint64n(1 << 20)),
+				Kind:    Kind(r.Intn(3)),
+				DepPrev: r.Bool(0.5),
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, ref := range refs {
+			if err := w.Write(ref); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got []Ref
+		var ref Ref
+		for rd.Next(&ref) {
+			got = append(got, ref)
+		}
+		if rd.Err() != nil {
+			return false
+		}
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic, and must either decode records or surface an error via Err.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid two-record trace and some corruptions of it.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write(Ref{Addr: 0x1000, PC: 7, Gap: 3, Kind: Load})
+	_ = w.Write(Ref{Addr: 0x2000, PC: 9, Gap: 0, Kind: Store, DepPrev: true})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("TKTRACE1"))
+	f.Add([]byte{})
+	f.Add([]byte("TKTRACE1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header is a valid outcome
+		}
+		var r Ref
+		n := 0
+		for rd.Next(&r) {
+			if !r.Kind.Valid() {
+				t.Fatalf("decoded invalid kind %d", r.Kind)
+			}
+			if n++; n > 1<<20 {
+				t.Fatal("decoder failed to terminate")
+			}
+		}
+		_ = rd.Err()
+	})
+}

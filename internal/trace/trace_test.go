@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Load: "load", Store: "store", SWPrefetch: "swprefetch", Kind(9): "invalid"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if !Load.Valid() || !Store.Valid() || !SWPrefetch.Valid() {
+		t.Fatal("defined kinds should be valid")
+	}
+	if Kind(3).Valid() {
+		t.Fatal("kind 3 should be invalid")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	refs := []Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	s := &SliceStream{Refs: refs}
+	var r Ref
+	for i := 0; i < 3; i++ {
+		if !s.Next(&r) || r.Addr != refs[i].Addr {
+			t.Fatalf("ref %d wrong", i)
+		}
+	}
+	if s.Next(&r) {
+		t.Fatal("stream should be exhausted")
+	}
+	s.Reset()
+	if !s.Next(&r) || r.Addr != 1 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := &SliceStream{Refs: make([]Ref, 10)}
+	l := &Limit{S: s, N: 4}
+	var r Ref
+	n := 0
+	for l.Next(&r) {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("Limit produced %d refs, want 4", n)
+	}
+}
+
+func TestLimitShorterStream(t *testing.T) {
+	s := &SliceStream{Refs: make([]Ref, 2)}
+	l := &Limit{S: s, N: 100}
+	var r Ref
+	n := 0
+	for l.Next(&r) {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("Limit produced %d refs, want 2", n)
+	}
+}
+
+func TestDropSWPrefetch(t *testing.T) {
+	s := &SliceStream{Refs: []Ref{
+		{Addr: 1, Kind: Load, Gap: 2},
+		{Addr: 2, Kind: SWPrefetch, Gap: 3},
+		{Addr: 3, Kind: SWPrefetch, Gap: 1},
+		{Addr: 4, Kind: Store, Gap: 5},
+	}}
+	d := &DropSWPrefetch{S: s}
+	var r Ref
+	if !d.Next(&r) || r.Addr != 1 || r.Gap != 2 {
+		t.Fatalf("first ref wrong: %+v", r)
+	}
+	// The two dropped prefetches contribute gap 3+1 plus 2 instructions.
+	if !d.Next(&r) || r.Addr != 4 || r.Gap != 5+3+1+2 {
+		t.Fatalf("second ref wrong: %+v", r)
+	}
+	if d.Next(&r) {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	s := &SliceStream{Refs: make([]Ref, 7)}
+	if got := Collect(s, 5); len(got) != 5 {
+		t.Fatalf("Collect = %d refs", len(got))
+	}
+	if got := Collect(s, 5); len(got) != 2 {
+		t.Fatalf("Collect tail = %d refs", len(got))
+	}
+}

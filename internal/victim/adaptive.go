@@ -1,0 +1,92 @@
+package victim
+
+import "timekeeping/internal/hier"
+
+// AdaptiveFilter is the run-time extension the paper sketches at the end
+// of Section 4.2: "adaptive filtering adjusts the dead time threshold at
+// run-time so the number of candidate blocks remains approximately equal
+// to the number of the entries in the victim cache."
+//
+// The rationale is the paper's Little's-law argument: the victim cache can
+// only provide associativity for about as many frames as it has entries,
+// so the dead-time threshold should be tuned until the admission stream
+// keeps roughly that many recently-evicted, soon-reused candidates in
+// play. The filter watches admissions over fixed windows of offers and
+// doubles or halves the threshold to steer the admission count toward the
+// victim cache size.
+type AdaptiveFilter struct {
+	threshold uint64
+	min, max  uint64
+
+	window  uint64 // offers per adaptation step
+	target  uint64 // desired admissions per window (the victim cache size)
+	offers  uint64
+	admits  uint64
+	adjusts uint64
+}
+
+// Adaptation bounds: the threshold stays within the range the paper's
+// static analysis considers sensible (a few hundred cycles to tens of
+// thousands).
+const (
+	adaptiveMinThreshold = 256
+	adaptiveMaxThreshold = 64 * 1024
+)
+
+// NewAdaptiveFilter returns a filter steering toward `entries` admissions
+// per `window` offers. A zero window defaults to 8x the entry count,
+// which keeps the control loop responsive without chattering.
+func NewAdaptiveFilter(entries int, window uint64) *AdaptiveFilter {
+	if entries < 1 {
+		panic("victim: adaptive filter needs entries >= 1")
+	}
+	if window == 0 {
+		window = uint64(entries) * 8
+	}
+	return &AdaptiveFilter{
+		threshold: DefaultAdaptiveStart,
+		min:       adaptiveMinThreshold,
+		max:       adaptiveMaxThreshold,
+		window:    window,
+		target:    uint64(entries),
+	}
+}
+
+// DefaultAdaptiveStart is the initial dead-time threshold — the paper's
+// static operating point.
+const DefaultAdaptiveStart = 1024
+
+// Admit implements Filter.
+func (f *AdaptiveFilter) Admit(ev hier.Eviction) bool {
+	admit := ev.DeadTime < f.threshold
+	f.offers++
+	if admit {
+		f.admits++
+	}
+	if f.offers >= f.window {
+		f.adapt()
+	}
+	return admit
+}
+
+// adapt closes the control loop at a window boundary.
+func (f *AdaptiveFilter) adapt() {
+	switch {
+	case f.admits > f.target*3/2 && f.threshold > f.min:
+		f.threshold /= 2
+		f.adjusts++
+	case f.admits < f.target/2 && f.threshold < f.max:
+		f.threshold *= 2
+		f.adjusts++
+	}
+	f.offers, f.admits = 0, 0
+}
+
+// Threshold returns the current dead-time threshold (for inspection).
+func (f *AdaptiveFilter) Threshold() uint64 { return f.threshold }
+
+// Adjustments returns how many times the threshold moved.
+func (f *AdaptiveFilter) Adjustments() uint64 { return f.adjusts }
+
+// Name implements Filter.
+func (f *AdaptiveFilter) Name() string { return "adaptive" }

@@ -1,0 +1,114 @@
+package victim
+
+import (
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/hier"
+)
+
+func offerDead(f Filter, now, dead uint64) bool {
+	return f.Admit(hier.Eviction{
+		Now:      now,
+		Victim:   cache.Victim{Valid: true, Addr: now * 64},
+		DeadTime: dead,
+	})
+}
+
+func TestAdaptiveStartsAtPaperThreshold(t *testing.T) {
+	f := NewAdaptiveFilter(32, 0)
+	if f.Threshold() != DefaultAdaptiveStart {
+		t.Fatalf("initial threshold = %d", f.Threshold())
+	}
+	if f.Name() != "adaptive" {
+		t.Fatal("name")
+	}
+}
+
+func TestAdaptiveLowersThresholdUnderFlood(t *testing.T) {
+	// Everything offered has a tiny dead time: admissions flood, so the
+	// threshold must fall toward its floor.
+	f := NewAdaptiveFilter(32, 64)
+	for i := uint64(0); i < 64*20; i++ {
+		offerDead(f, i, 100)
+	}
+	if f.Threshold() != adaptiveMinThreshold {
+		t.Fatalf("threshold = %d, want floor %d", f.Threshold(), adaptiveMinThreshold)
+	}
+	if f.Adjustments() == 0 {
+		t.Fatal("no adjustments recorded")
+	}
+}
+
+func TestAdaptiveRaisesThresholdWhenStarved(t *testing.T) {
+	// Dead times all sit just above the static threshold: a static filter
+	// admits nothing, but the adaptive one opens up until it captures
+	// them.
+	f := NewAdaptiveFilter(32, 64)
+	admitted := 0
+	for i := uint64(0); i < 64*20; i++ {
+		if offerDead(f, i, 3000) {
+			admitted++
+		}
+	}
+	if f.Threshold() <= DefaultAdaptiveStart {
+		t.Fatalf("threshold did not rise: %d", f.Threshold())
+	}
+	if admitted == 0 {
+		t.Fatal("adaptive filter never opened up")
+	}
+}
+
+func TestAdaptiveThresholdBounded(t *testing.T) {
+	f := NewAdaptiveFilter(32, 64)
+	// Starve for a long time: threshold must not exceed the cap.
+	for i := uint64(0); i < 64*100; i++ {
+		offerDead(f, i, 1<<40)
+	}
+	if f.Threshold() > adaptiveMaxThreshold {
+		t.Fatalf("threshold exceeded cap: %d", f.Threshold())
+	}
+}
+
+func TestAdaptiveSteadyStateStopsAdjusting(t *testing.T) {
+	// Admission rate near the target: the loop should settle.
+	f := NewAdaptiveFilter(32, 64)
+	for i := uint64(0); i < 64*10; i++ {
+		dead := uint64(100)
+		if i%2 == 0 {
+			dead = 1 << 30 // half rejected: 32 admits per 64 offers
+		}
+		offerDead(f, i, dead)
+	}
+	before := f.Adjustments()
+	for i := uint64(0); i < 64*10; i++ {
+		dead := uint64(100)
+		if i%2 == 0 {
+			dead = 1 << 30
+		}
+		offerDead(f, i, dead)
+	}
+	if f.Adjustments() != before {
+		t.Fatalf("loop still adjusting in steady state: %d -> %d", before, f.Adjustments())
+	}
+}
+
+func TestAdaptiveInCache(t *testing.T) {
+	c := New(32, NewAdaptiveFilter(32, 0))
+	if c.FilterName() != "adaptive" {
+		t.Fatal("filter not attached")
+	}
+	c.Offer(hier.Eviction{Victim: cache.Victim{Valid: true, Addr: 0x40}, DeadTime: 100})
+	if !c.Lookup(0x40, 10) {
+		t.Fatal("short-dead victim not admitted")
+	}
+}
+
+func TestAdaptiveBadEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdaptiveFilter(0, 0)
+}

@@ -1,0 +1,68 @@
+package victim
+
+import (
+	"timekeeping/internal/core"
+	"timekeeping/internal/hier"
+)
+
+// ReloadFilter admits victims whose *previous* reload interval was short —
+// the other conflict predictor of Section 4.1. The paper notes that
+// "reload intervals are only available for counting in L2", which "makes
+// it difficult for their use as a means to manage an L1 victim cache", and
+// therefore builds the shipped filter from dead times instead; this
+// implementation exists to quantify that trade (see the ext-reloadfilter
+// experiment): it needs per-block reload state (an L2-side structure)
+// where the dead-time filter needs only one 2-bit counter per L1 line.
+//
+// Mechanism: every eviction event carries the incoming block, whose
+// generation begins now — that gives the incoming block's reload interval.
+// A victim is admitted when its own most recent reload interval was below
+// the threshold (blocks that historically come back quickly are conflict
+// victims worth keeping).
+type ReloadFilter struct {
+	pred core.ConflictByReload
+
+	// lastStart is the per-block generation-start time — the state the
+	// paper locates at the L2 (it is the L2's access interval).
+	lastStart map[uint64]uint64
+	// lastReload is the per-block most recent reload interval.
+	lastReload map[uint64]uint64
+
+	maxBlocks int
+}
+
+// NewReloadFilter returns a filter using the paper's 16K-cycle operating
+// point (the Figure 8 knee). Pass 0 to use the default threshold.
+func NewReloadFilter(threshold uint64) *ReloadFilter {
+	if threshold == 0 {
+		threshold = core.DefaultReloadThreshold
+	}
+	return &ReloadFilter{
+		pred:       core.ConflictByReload{Threshold: threshold},
+		lastStart:  make(map[uint64]uint64),
+		lastReload: make(map[uint64]uint64),
+		maxBlocks:  1 << 20, // safety bound on tracked state
+	}
+}
+
+// Admit implements Filter.
+func (f *ReloadFilter) Admit(ev hier.Eviction) bool {
+	// The incoming block's generation starts now: record its reload
+	// interval for its own future eviction decisions.
+	if start, ok := f.lastStart[ev.Incoming]; ok && ev.Now > start {
+		f.lastReload[ev.Incoming] = ev.Now - start
+	}
+	f.lastStart[ev.Incoming] = ev.Now
+	if len(f.lastStart) > f.maxBlocks {
+		// Pathological footprint: reset rather than grow without bound
+		// (a real L2-side structure has finite tags too).
+		f.lastStart = make(map[uint64]uint64)
+		f.lastReload = make(map[uint64]uint64)
+	}
+
+	reload, known := f.lastReload[ev.Victim.Addr]
+	return known && f.pred.Predict(reload)
+}
+
+// Name implements Filter.
+func (f *ReloadFilter) Name() string { return "reload" }

@@ -1,0 +1,84 @@
+package victim
+
+import (
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/hier"
+)
+
+func evictWith(now, victim, incoming uint64) hier.Eviction {
+	return hier.Eviction{
+		Now:      now,
+		Victim:   cache.Victim{Valid: true, Addr: victim},
+		Incoming: incoming,
+	}
+}
+
+func TestReloadFilterLearnsShortReloads(t *testing.T) {
+	f := NewReloadFilter(16000)
+	// Block A ping-pongs: loaded at 0, evicted, reloaded at 1000 -> its
+	// reload interval (1000) is learned when it comes back in.
+	f.Admit(evictWith(0, 0xB0, 0xA0))    // A loads at 0
+	f.Admit(evictWith(1000, 0xA0, 0xB0)) // A evicted; B in (A reload unknown yet)
+	// A reloads at 1500: reload interval 1500 recorded.
+	if got := f.Admit(evictWith(1500, 0xB0, 0xA0)); got {
+		t.Fatal("B's reload interval is unknown; must not admit")
+	}
+	// A evicted again at 2000: its last reload interval (1500) < 16000.
+	if !f.Admit(evictWith(2000, 0xA0, 0xB0)) {
+		t.Fatal("A has a short reload history; must admit")
+	}
+}
+
+func TestReloadFilterRejectsLongReloads(t *testing.T) {
+	f := NewReloadFilter(16000)
+	f.Admit(evictWith(0, 0x1, 0xA0))       // A loads at 0
+	f.Admit(evictWith(100, 0xA0, 0x2))     // A evicted
+	f.Admit(evictWith(500_000, 0x3, 0xA0)) // A reloads 500K later: capacity-like
+	if f.Admit(evictWith(500_100, 0xA0, 0x4)) {
+		t.Fatal("long-reload victim admitted")
+	}
+}
+
+func TestReloadFilterUnknownHistoryRejected(t *testing.T) {
+	f := NewReloadFilter(0)
+	if f.Admit(evictWith(100, 0xA0, 0xB0)) {
+		t.Fatal("victim with no reload history admitted")
+	}
+	if f.Name() != "reload" {
+		t.Fatal("name")
+	}
+}
+
+func TestReloadFilterDefaultThreshold(t *testing.T) {
+	f := NewReloadFilter(0)
+	f.Admit(evictWith(0, 0x1, 0xA0))
+	f.Admit(evictWith(100, 0xA0, 0x2))
+	f.Admit(evictWith(8100, 0x3, 0xA0)) // reload 8100 < 16000 default
+	if !f.Admit(evictWith(8200, 0xA0, 0x4)) {
+		t.Fatal("default threshold should admit an 8K reload")
+	}
+}
+
+func TestReloadFilterStateBound(t *testing.T) {
+	f := NewReloadFilter(0)
+	f.maxBlocks = 100
+	for i := uint64(0); i < 1000; i++ {
+		f.Admit(evictWith(i*10, i*64, (i+1)*64))
+	}
+	if len(f.lastStart) > 101 {
+		t.Fatalf("state grew unbounded: %d", len(f.lastStart))
+	}
+}
+
+func TestReloadFilterInVictimCache(t *testing.T) {
+	c := New(4, NewReloadFilter(16000))
+	c.Offer(evictWith(0, 0x1, 0xA0))
+	c.Offer(evictWith(1000, 0xA0, 0x2))
+	c.Offer(evictWith(1500, 0x3, 0xA0))
+	c.Offer(evictWith(2000, 0xA0, 0x4)) // A admitted now
+	if !c.Lookup(0xA0, 2100) {
+		t.Fatal("short-reload victim not in cache")
+	}
+}

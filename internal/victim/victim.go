@@ -1,0 +1,212 @@
+// Package victim implements the fully-associative victim cache of Section
+// 4.2 together with the paper's three admission policies:
+//
+//   - no filter (Jouppi's original victim cache: every eviction enters);
+//   - a Collins-style filter that admits victims of detected mapping
+//     conflicts, detected by remembering the previously evicted tag per
+//     frame (an extra tag of storage per cache line, as in Collins &
+//     Tullsen);
+//   - the paper's timekeeping filter: admit only victims whose dead time
+//     is below ~1K cycles, measured with a 2-bit counter ticked every 512
+//     cycles (Figure 12). Short dead times indicate conflict evictions
+//     with likely reuse; long dead times indicate blocks at the end of
+//     their natural lifetime, which would only pollute the victim cache.
+package victim
+
+import (
+	"timekeeping/internal/clock"
+	"timekeeping/internal/core"
+	"timekeeping/internal/hier"
+)
+
+// Filter decides which evictions enter the victim cache.
+type Filter interface {
+	// Admit is called for every L1 eviction.
+	Admit(ev hier.Eviction) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// NoFilter admits everything — the unfiltered victim cache baseline.
+type NoFilter struct{}
+
+// Admit implements Filter.
+func (NoFilter) Admit(hier.Eviction) bool { return true }
+
+// Name implements Filter.
+func (NoFilter) Name() string { return "none" }
+
+// CollinsFilter admits a victim when the incoming block matches the block
+// previously evicted from the same frame — the extra-tag conflict detector
+// of Collins and Tullsen: if what we just threw out is coming right back,
+// this frame is ping-ponging.
+type CollinsFilter struct {
+	prevEvicted []uint64
+	haveEvicted []bool
+	conflicting []bool
+}
+
+// NewCollinsFilter returns a filter for an L1 with the given frame count.
+func NewCollinsFilter(frames int) *CollinsFilter {
+	return &CollinsFilter{
+		prevEvicted: make([]uint64, frames),
+		haveEvicted: make([]bool, frames),
+		conflicting: make([]bool, frames),
+	}
+}
+
+// Admit implements Filter.
+func (f *CollinsFilter) Admit(ev hier.Eviction) bool {
+	// A frame is in a conflict episode when the incoming block is the one
+	// evicted last time; episodes end when the pattern breaks.
+	f.conflicting[ev.Frame] = f.haveEvicted[ev.Frame] && f.prevEvicted[ev.Frame] == ev.Incoming
+	f.prevEvicted[ev.Frame] = ev.Victim.Addr
+	f.haveEvicted[ev.Frame] = true
+	return f.conflicting[ev.Frame]
+}
+
+// Name implements Filter.
+func (f *CollinsFilter) Name() string { return "collins" }
+
+// DecayFilter is the paper's timekeeping filter: admit victims whose dead
+// time, measured by a 2-bit per-line counter ticked every 512 cycles, is
+// at most 1 tick — i.e. roughly 0-1023 cycles (Figure 12). The counter is
+// modelled faithfully: it is reset by the line's last access and advances
+// on global tick boundaries, so the admitted range has the same ±one-tick
+// phase slop real hardware has.
+type DecayFilter struct {
+	pred  core.ConflictByDeadTime
+	tick  clock.Ticker
+	bits  uint
+	exact bool
+}
+
+// NewDecayFilter returns the Figure 12 filter: counter value <= 1 admits.
+func NewDecayFilter() *DecayFilter {
+	return &DecayFilter{
+		pred: core.ConflictByDeadTime{Threshold: core.DefaultDeadTimeThreshold},
+		tick: clock.Ticker{Shift: 9},
+		bits: 2,
+	}
+}
+
+// NewDecayFilterThreshold returns a filter that compares the exact dead
+// time against a custom threshold in cycles (for the ablation sweep, where
+// counter quantisation would blur the comparison).
+func NewDecayFilterThreshold(threshold uint64) *DecayFilter {
+	return &DecayFilter{
+		pred:  core.ConflictByDeadTime{Threshold: threshold},
+		tick:  clock.Ticker{Shift: 9},
+		bits:  2,
+		exact: true,
+	}
+}
+
+// Admit implements Filter.
+func (f *DecayFilter) Admit(ev hier.Eviction) bool {
+	if f.exact {
+		return f.pred.Predict(ev.DeadTime)
+	}
+	lastAccess := ev.Now - ev.DeadTime
+	delta := f.tick.Ticks(ev.Now) - f.tick.Ticks(lastAccess)
+	if max := uint64(1)<<f.bits - 1; delta > max {
+		delta = max
+	}
+	return delta <= 1
+}
+
+// Name implements Filter.
+func (f *DecayFilter) Name() string { return "decay" }
+
+// entry is one victim-cache line.
+type entry struct {
+	block uint64
+	used  uint64
+	valid bool
+}
+
+// Stats counts victim-cache events.
+type Stats struct {
+	Offered  uint64 // evictions seen
+	Admitted uint64 // evictions inserted (the fill traffic of Figure 13)
+	Lookups  uint64
+	Hits     uint64
+}
+
+// Cache is a small fully-associative victim cache with LRU replacement.
+// It implements hier.VictimBuffer.
+type Cache struct {
+	entries []entry
+	filter  Filter
+	stamp   uint64
+	stats   Stats
+}
+
+// New returns a victim cache with `size` entries and the given admission
+// filter (the paper's configuration is 32 entries).
+func New(size int, filter Filter) *Cache {
+	if size < 1 {
+		panic("victim: size must be >= 1")
+	}
+	if filter == nil {
+		filter = NoFilter{}
+	}
+	return &Cache{entries: make([]entry, size), filter: filter}
+}
+
+// Offer implements hier.VictimBuffer: filter, then insert with LRU
+// replacement.
+func (c *Cache) Offer(ev hier.Eviction) {
+	c.stats.Offered++
+	if !ev.Victim.Valid || !c.filter.Admit(ev) {
+		return
+	}
+	c.stats.Admitted++
+	c.stamp++
+	// Already present? Refresh.
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].block == ev.Victim.Addr {
+			c.entries[i].used = c.stamp
+			return
+		}
+	}
+	lru := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range c.entries {
+		if !c.entries[i].valid {
+			lru = i
+			break
+		}
+		if c.entries[i].used < oldest {
+			oldest = c.entries[i].used
+			lru = i
+		}
+	}
+	c.entries[lru] = entry{block: ev.Victim.Addr, used: c.stamp, valid: true}
+}
+
+// Lookup implements hier.VictimBuffer: a hit consumes the entry (the block
+// swaps back into the L1).
+func (c *Cache) Lookup(block uint64, now uint64) bool {
+	c.stats.Lookups++
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].block == block {
+			c.entries[i] = entry{}
+			c.stats.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters, preserving contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// FilterName reports the active admission policy.
+func (c *Cache) FilterName() string { return c.filter.Name() }
+
+// Size returns the entry count.
+func (c *Cache) Size() int { return len(c.entries) }

@@ -1,0 +1,213 @@
+package victim
+
+import (
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/hier"
+)
+
+func evict(now, victim, incoming uint64, frame int, dead uint64) hier.Eviction {
+	return hier.Eviction{
+		Now:      now,
+		Victim:   cache.Victim{Valid: true, Addr: victim},
+		Frame:    frame,
+		Incoming: incoming,
+		DeadTime: dead,
+	}
+}
+
+func TestNoFilterAdmitsAll(t *testing.T) {
+	c := New(4, NoFilter{})
+	c.Offer(evict(100, 0xA0, 0xB0, 0, 99999))
+	if got := c.Stats(); got.Admitted != 1 || got.Offered != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+	if !c.Lookup(0xA0, 200) {
+		t.Fatal("victim not found")
+	}
+}
+
+func TestLookupConsumesEntry(t *testing.T) {
+	c := New(4, NoFilter{})
+	c.Offer(evict(0, 0xA0, 0xB0, 0, 0))
+	if !c.Lookup(0xA0, 10) {
+		t.Fatal("first lookup missed")
+	}
+	if c.Lookup(0xA0, 20) {
+		t.Fatal("entry not consumed")
+	}
+	if got := c.Stats(); got.Lookups != 2 || got.Hits != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(2, NoFilter{})
+	c.Offer(evict(0, 0x1, 0x9, 0, 0))
+	c.Offer(evict(1, 0x2, 0x9, 0, 0))
+	c.Offer(evict(2, 0x3, 0x9, 0, 0)) // evicts 0x1
+	if c.Lookup(0x1, 10) {
+		t.Fatal("LRU entry survived")
+	}
+	if !c.Lookup(0x2, 11) || !c.Lookup(0x3, 12) {
+		t.Fatal("newer entries lost")
+	}
+}
+
+func TestOfferRefreshesExisting(t *testing.T) {
+	c := New(2, NoFilter{})
+	c.Offer(evict(0, 0x1, 0x9, 0, 0))
+	c.Offer(evict(1, 0x2, 0x9, 0, 0))
+	c.Offer(evict(2, 0x1, 0x9, 0, 0)) // refresh 0x1: 0x2 becomes LRU
+	c.Offer(evict(3, 0x3, 0x9, 0, 0)) // evicts 0x2
+	if c.Lookup(0x2, 10) {
+		t.Fatal("refreshed entry was evicted instead of LRU")
+	}
+	if !c.Lookup(0x1, 11) {
+		t.Fatal("refreshed entry lost")
+	}
+}
+
+func TestInvalidVictimIgnored(t *testing.T) {
+	c := New(2, NoFilter{})
+	c.Offer(hier.Eviction{Now: 0, Victim: cache.Victim{Valid: false}})
+	if c.Stats().Admitted != 0 {
+		t.Fatal("invalid victim admitted")
+	}
+}
+
+func TestDecayFilterAdmitsShortDeadTimes(t *testing.T) {
+	f := NewDecayFilter()
+	if !f.Admit(evict(10000, 0xA0, 0xB0, 0, 100)) {
+		t.Fatal("dead=100 rejected")
+	}
+	if f.Admit(evict(100000, 0xA0, 0xB0, 0, 50000)) {
+		t.Fatal("dead=50000 admitted")
+	}
+}
+
+func TestDecayFilterCounterQuantisation(t *testing.T) {
+	f := NewDecayFilter()
+	// Dead time 1500 spans at least 2 tick boundaries from most phases ->
+	// rejected; dead time 200 never spans more than 1 -> admitted.
+	admitted, rejected := 0, 0
+	for now := uint64(2000); now < 2000+512; now++ {
+		if f.Admit(evict(now, 0xA0, 0xB0, 0, 200)) {
+			admitted++
+		}
+		if !f.Admit(evict(now+10000, 0xA0, 0xB0, 0, 1500)) {
+			rejected++
+		}
+	}
+	if admitted != 512 {
+		t.Fatalf("dead=200 admitted %d/512 times", admitted)
+	}
+	if rejected < 256 {
+		t.Fatalf("dead=1500 rejected only %d/512 times", rejected)
+	}
+}
+
+func TestDecayFilterExactThreshold(t *testing.T) {
+	f := NewDecayFilterThreshold(2000)
+	if !f.Admit(evict(10000, 0xA0, 0xB0, 0, 1999)) || f.Admit(evict(10000, 0xA0, 0xB0, 0, 2000)) {
+		t.Fatal("exact threshold boundary wrong")
+	}
+}
+
+func TestCollinsFilterDetectsPingPong(t *testing.T) {
+	f := NewCollinsFilter(8)
+	// A evicted by B, then B evicted by A (incoming == previously
+	// evicted): conflict detected from the second eviction on.
+	if f.Admit(evict(0, 0xA0, 0xB0, 3, 0)) {
+		t.Fatal("first eviction should not be admitted")
+	}
+	if !f.Admit(evict(10, 0xB0, 0xA0, 3, 0)) {
+		t.Fatal("ping-pong eviction not admitted")
+	}
+	if !f.Admit(evict(20, 0xA0, 0xB0, 3, 0)) {
+		t.Fatal("continued ping-pong not admitted")
+	}
+}
+
+func TestCollinsFilterStreamNotAdmitted(t *testing.T) {
+	f := NewCollinsFilter(8)
+	// Streaming: every incoming block is new; never admitted.
+	for i := uint64(0); i < 10; i++ {
+		if f.Admit(evict(i*100, 0x1000+i, 0x2000+i, 2, 0)) {
+			t.Fatalf("stream eviction %d admitted", i)
+		}
+	}
+}
+
+func TestCollinsFilterPerFrame(t *testing.T) {
+	f := NewCollinsFilter(8)
+	f.Admit(evict(0, 0xA0, 0xB0, 1, 0))
+	// Same pattern in a different frame: no cross-talk.
+	if f.Admit(evict(10, 0xB0, 0xA0, 2, 0)) {
+		t.Fatal("frames share state")
+	}
+}
+
+func TestFilterNames(t *testing.T) {
+	if (NoFilter{}).Name() != "none" {
+		t.Fatal("NoFilter name")
+	}
+	if NewCollinsFilter(1).Name() != "collins" {
+		t.Fatal("Collins name")
+	}
+	if NewDecayFilter().Name() != "decay" {
+		t.Fatal("Decay name")
+	}
+}
+
+func TestCacheDefaults(t *testing.T) {
+	c := New(32, nil)
+	if c.FilterName() != "none" {
+		t.Fatal("nil filter should default to none")
+	}
+	if c.Size() != 32 {
+		t.Fatalf("size = %d", c.Size())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(4, NoFilter{})
+	c.Offer(evict(0, 0xA0, 0xB0, 0, 0))
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("stats not cleared")
+	}
+	if !c.Lookup(0xA0, 10) {
+		t.Fatal("contents lost on stats reset")
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, nil)
+}
+
+func TestDecayFilteredTrafficReduction(t *testing.T) {
+	// A mixed eviction stream: 10% short dead times, 90% long. The decay
+	// filter should cut fill traffic by ~90% (the paper reports 87%).
+	c := New(32, NewDecayFilter())
+	for i := uint64(0); i < 1000; i++ {
+		dead := uint64(100000)
+		if i%10 == 0 {
+			dead = 300
+		}
+		c.Offer(evict(200000+i*1000, 0x1000+i*64, 0x900000, int(i%1024), dead))
+	}
+	s := c.Stats()
+	if s.Offered != 1000 {
+		t.Fatalf("offered = %d", s.Offered)
+	}
+	if s.Admitted < 80 || s.Admitted > 150 {
+		t.Fatalf("admitted = %d, want ~100", s.Admitted)
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+// Characterisation regression tests: each profile class must keep the
+// qualitative behaviour the paper assigns it. These tests run the real
+// simulator at reduced scale, so edits to the profile table that would
+// silently change a benchmark's class fail loudly here.
+
+import (
+	"testing"
+
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/trace"
+)
+
+// runProfile simulates a profile briefly — half the references as warm-up
+// (so cold misses do not mask the steady-state class) — and returns the
+// measured-window hierarchy stats and IPC.
+func runProfile(t *testing.T, name string, refs uint64) (hier.Stats, float64) {
+	t.Helper()
+	h := hier.New(hier.DefaultConfig())
+	m := cpu.New(cpu.DefaultConfig(), h)
+	spec := MustProfile(name)
+	s := spec.Stream(1)
+	warm := m.Run(s, refs)
+	h.ResetStats()
+	res := m.Run(s, refs)
+	d := res.Minus(warm)
+	return h.Stats(), d.IPC
+}
+
+func TestFewStallProfilesBarelyMiss(t *testing.T) {
+	for _, name := range []string{"eon", "galgel", "sixtrack"} {
+		s, ipc := runProfile(t, name, 60_000)
+		if s.MissRate() > 0.01 {
+			t.Errorf("%s: miss rate %.3f, want ~0 (few-memory-stalls class)", name, s.MissRate())
+		}
+		if ipc < 7 {
+			t.Errorf("%s: IPC %.2f, want near issue width", name, ipc)
+		}
+	}
+}
+
+func TestConflictHeavyProfiles(t *testing.T) {
+	// The paper's conflict-bound programs: conflict misses dominate
+	// capacity misses (Figure 2, middle of the plot).
+	for _, name := range []string{"vpr", "crafty", "twolf"} {
+		s, _ := runProfile(t, name, 150_000)
+		if s.ConflMiss <= s.CapMiss {
+			t.Errorf("%s: conflict=%d capacity=%d, want conflict-dominated", name, s.ConflMiss, s.CapMiss)
+		}
+	}
+}
+
+func TestCapacityHeavyProfiles(t *testing.T) {
+	// The paper's capacity-bound programs (right of Figure 2).
+	for _, name := range []string{"mcf", "swim", "applu", "art", "facerec", "ammp"} {
+		s, _ := runProfile(t, name, 150_000)
+		if s.CapMiss <= s.ConflMiss*2 {
+			t.Errorf("%s: capacity=%d conflict=%d, want capacity-dominated", name, s.CapMiss, s.ConflMiss)
+		}
+	}
+}
+
+func TestMemoryBoundProfilesHaveLowIPC(t *testing.T) {
+	for _, name := range []string{"mcf", "ammp"} {
+		_, ipc := runProfile(t, name, 150_000)
+		if ipc > 1.5 {
+			t.Errorf("%s: IPC %.2f, want memory-bound (<1.5)", name, ipc)
+		}
+	}
+}
+
+func TestMcfFootprintExceedsL2(t *testing.T) {
+	// mcf must thrash the 1MB L2 (its chase is 4MB): plenty of L2 misses.
+	s, _ := runProfile(t, "mcf", 150_000)
+	if s.L2Misses < s.L2Hits/4 {
+		t.Errorf("mcf: L2 misses=%d hits=%d, want substantial L2 thrashing", s.L2Misses, s.L2Hits)
+	}
+}
+
+func TestAmmpFitsL2(t *testing.T) {
+	// ammp's 48KB chase misses L1 on every node but lives in L2.
+	s, _ := runProfile(t, "ammp", 150_000)
+	if s.L2Misses > s.L2Hits/10 {
+		t.Errorf("ammp: L2 misses=%d hits=%d, want L2-resident", s.L2Misses, s.L2Hits)
+	}
+}
+
+func TestChaseProfilesAreDependent(t *testing.T) {
+	// Pointer-chase analogs must carry dependence (that is what makes
+	// them memory-latency-bound rather than MLP-friendly).
+	for _, name := range []string{"mcf", "ammp", "equake"} {
+		spec := MustProfile(name)
+		s := spec.Stream(1)
+		var ref trace.Ref
+		deps, n := 0, 20000
+		for i := 0; i < n; i++ {
+			if !s.Next(&ref) {
+				t.Fatal("stream ended")
+			}
+			if ref.DepPrev {
+				deps++
+			}
+		}
+		if float64(deps)/float64(n) < 0.2 {
+			t.Errorf("%s: dependent fraction %.2f, want >= 0.2", name, float64(deps)/float64(n))
+		}
+	}
+}

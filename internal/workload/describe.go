@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the benchmark's composition as human-readable lines —
+// the documentation of what each SPEC2000 analog is made of (used by
+// `tktrace -profiles`).
+func (s *Spec) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", s.Name)
+	for _, c := range s.Components {
+		fmt.Fprintf(&b, "  - %s\n", c.describe())
+	}
+	return b.String()
+}
+
+// describe summarises one component.
+func (c ComponentSpec) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s w=%d", c.Kind, c.Weight)
+	switch c.Kind {
+	case PatSeq:
+		stride := c.Stride
+		if stride == 0 {
+			stride = 8
+		}
+		fmt.Fprintf(&b, " %s stride=%dB", size(c.Bytes), stride)
+	case PatTriad:
+		stride := c.Stride
+		if stride == 0 {
+			stride = 8
+		}
+		fmt.Fprintf(&b, " 3x%s stride=%dB", size(c.Bytes), stride)
+	case PatRand:
+		fmt.Fprintf(&b, " %s", size(c.Bytes))
+		if c.RunLen > 1 {
+			fmt.Fprintf(&b, " runs~%d", c.RunLen)
+		}
+	case PatChase:
+		nodeSize := c.NodeSize
+		if nodeSize == 0 {
+			nodeSize = 32
+		}
+		fmt.Fprintf(&b, " %d nodes x %dB (%s)", c.Nodes, nodeSize, size(uint64(c.Nodes)*nodeSize))
+		if c.Touches > 1 {
+			fmt.Fprintf(&b, " touches=%d", c.Touches)
+		}
+	case PatConflict:
+		fmt.Fprintf(&b, " %d-way x %d sets, dwell=%d", c.Ways, c.Sets, c.PerSet)
+		if c.WayPool > c.Ways {
+			fmt.Fprintf(&b, " pool=%d", c.WayPool)
+		}
+		if c.RandomSets {
+			b.WriteString(" random-sets")
+		}
+	}
+	fmt.Fprintf(&b, " gap=%.1f", c.GapMean)
+	if c.DepFrac > 0 {
+		fmt.Fprintf(&b, " dep=%.2f", c.DepFrac)
+	}
+	if c.StoreFrac > 0 {
+		fmt.Fprintf(&b, " stores=%.2f", c.StoreFrac)
+	}
+	if c.Bursty {
+		b.WriteString(" bursty")
+	}
+	if c.PrefetchEvery > 0 {
+		fmt.Fprintf(&b, " swpf=1/%d+%dB", c.PrefetchEvery, c.PrefetchAhead)
+	}
+	return b.String()
+}
+
+// size formats a byte count compactly.
+func size(bytes uint64) string {
+	switch {
+	case bytes >= MB && bytes%MB == 0:
+		return fmt.Sprintf("%dMB", bytes/MB)
+	case bytes >= KB:
+		return fmt.Sprintf("%dKB", bytes/KB)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Byte-size units used by the profile table.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+)
+
+// L1Bytes is the simulated L1 data-cache capacity (Table 1); conflict-loop
+// components use it as the mapping distance between conflicting tags.
+const L1Bytes = 32 * KB
+
+// Component region bases are spaced far apart so regions never collide.
+// The odd per-slot skew keeps region starts misaligned with the 32 KB tag
+// granularity: real allocators never return large-cache-aligned blocks,
+// and perfectly aligned hot regions would collapse onto a single tag,
+// which pathologically aliases the correlation table.
+func base(slot int) uint64 {
+	return 0x1000_0000 + uint64(slot)*0x0400_0000 + uint64(slot)*13*KB + 2*KB
+}
+
+// profiles maps each SPEC2000 benchmark the paper plots to its synthetic
+// analog. The mixes follow the paper's own characterisation:
+//
+//   - "few memory stalls" programs (eon, sixtrack, galgel, vortex, mesa,
+//     perlbmk, gzip, wupwise, lucas…) are dominated by a hot working set
+//     that fits L1, with high non-memory instruction counts;
+//   - conflict-heavy programs (vpr, crafty, parser, twolf) add mapping
+//     conflict loops (zero live times, short dead times/reload intervals),
+//     which is what the victim cache captures;
+//   - capacity-heavy programs (gcc, mcf, swim, mgrid, applu, art, facerec,
+//     ammp) are dominated by streams or pointer chases whose footprint
+//     exceeds L1, producing long dead times and reload intervals, which is
+//     what timekeeping prefetch targets;
+//   - mcf's chase footprint (4 MB) exceeds both L2 and the 8 KB correlation
+//     table's reach, so its addresses are only learnable by the 2 MB DBCP
+//     table (the paper's observation); ammp's chase (48 KB) misses L1 on
+//     every node but fits both L2 and the small table, giving the paper's
+//     near-ideal speedup; twolf/parser conflict sets are visited in random
+//     order, which wrecks address predictability (the paper's two
+//     prefetch-resistant programs).
+var profiles = map[string]Spec{
+	// ---- SPECint2000 ----
+	"gzip": {Name: "gzip", Seed: 101, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 8, Base: base(0), Bytes: 26 * KB, GapMean: 5, StoreFrac: 0.25},
+		{Kind: PatSeq, Weight: 1, Base: base(1), Bytes: 192 * KB, Stride: 16, PCVar: 0.15, GapMean: 6, StoreFrac: 0.3, DepFrac: 0.2},
+	}},
+	"vpr": {Name: "vpr", Seed: 102, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 5, Base: base(0), Bytes: 24 * KB, GapMean: 4, StoreFrac: 0.2},
+		{Kind: PatConflict, Weight: 2, Base: base(1), Ways: 2, Sets: 48, PerSet: 10, WayPool: 6, CacheBytes: L1Bytes, GapMean: 4},
+		{Kind: PatRand, Weight: 1, Base: base(2), Bytes: 96 * KB, GapMean: 4, StoreFrac: 0.2},
+	}},
+	"gcc": {Name: "gcc", Seed: 103, Components: []ComponentSpec{
+		{Kind: PatSeq, Weight: 3, Base: base(0), Bytes: 768 * KB, Stride: 16, PCVar: 0.15, GapMean: 3, StoreFrac: 0.3},
+		{Kind: PatRand, Weight: 2, Base: base(1), Bytes: 20 * KB, GapMean: 3, StoreFrac: 0.2},
+		{Kind: PatSeq, Weight: 2, Base: base(2), Bytes: 384 * KB, Stride: 32, PCVar: 0.15, GapMean: 3, StoreFrac: 0.2},
+		{Kind: PatConflict, Weight: 1, Base: base(3), Ways: 2, Sets: 32, PerSet: 8, WayPool: 6, CacheBytes: L1Bytes, GapMean: 3},
+	}},
+	"mcf": {Name: "mcf", Seed: 104, Components: []ComponentSpec{
+		{Kind: PatChase, Weight: 6, Base: base(0), Nodes: 1 << 17, NodeSize: 32, Touches: 2, GapMean: 1.5},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 16 * KB, GapMean: 2, StoreFrac: 0.2},
+	}},
+	"crafty": {Name: "crafty", Seed: 105, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 6, Base: base(0), Bytes: 28 * KB, GapMean: 4, StoreFrac: 0.15},
+		{Kind: PatConflict, Weight: 2, Base: base(1), Ways: 2, Sets: 40, PerSet: 12, WayPool: 6, CacheBytes: L1Bytes, GapMean: 4},
+		{Kind: PatRand, Weight: 1, Base: base(2), Bytes: 128 * KB, GapMean: 4},
+	}},
+	"parser": {Name: "parser", Seed: 106, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 3, Base: base(0), Bytes: 320 * KB, GapMean: 4, StoreFrac: 0.25},
+		{Kind: PatRand, Weight: 4, Base: base(1), Bytes: 24 * KB, GapMean: 4, StoreFrac: 0.25},
+		{Kind: PatConflict, Weight: 1, Base: base(2), Ways: 2, Sets: 56, PerSet: 8, WayPool: 6, CacheBytes: L1Bytes, RandomSets: true, GapMean: 4},
+	}},
+	"eon": {Name: "eon", Seed: 107, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 1, Base: base(0), Bytes: 14 * KB, GapMean: 9, StoreFrac: 0.3},
+	}},
+	"perlbmk": {Name: "perlbmk", Seed: 108, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 6, Base: base(0), Bytes: 22 * KB, GapMean: 7, StoreFrac: 0.3},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 96 * KB, GapMean: 6, StoreFrac: 0.2},
+	}},
+	"gap": {Name: "gap", Seed: 109, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 3, Base: base(0), Bytes: 24 * KB, GapMean: 6, StoreFrac: 0.25},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 448 * KB, Stride: 16, PCVar: 0.15, GapMean: 6, StoreFrac: 0.25, DepFrac: 0.25},
+	}},
+	"vortex": {Name: "vortex", Seed: 110, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 5, Base: base(0), Bytes: 20 * KB, GapMean: 8, StoreFrac: 0.3},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 64 * KB, GapMean: 8, StoreFrac: 0.2},
+	}},
+	"bzip2": {Name: "bzip2", Seed: 111, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 4, Base: base(0), Bytes: 26 * KB, GapMean: 6, StoreFrac: 0.3},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 640 * KB, Stride: 16, PCVar: 0.15, GapMean: 6, StoreFrac: 0.35, DepFrac: 0.25},
+	}},
+	"twolf": {Name: "twolf", Seed: 112, Components: []ComponentSpec{
+		{Kind: PatConflict, Weight: 2, Base: base(0), Ways: 2, Sets: 96, PerSet: 12, WayPool: 6, CacheBytes: L1Bytes, RandomSets: true, GapMean: 2.5},
+		{Kind: PatRand, Weight: 5, Base: base(1), Bytes: 14 * KB, GapMean: 3, StoreFrac: 0.2},
+		{Kind: PatRand, Weight: 1, Base: base(2), Bytes: 80 * KB, GapMean: 3},
+	}},
+
+	// ---- SPECfp2000 ----
+	"wupwise": {Name: "wupwise", Seed: 201, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 3, Base: base(0), Bytes: 22 * KB, GapMean: 7, StoreFrac: 0.25},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 768 * KB, Stride: 16, PCVar: 0.15, GapMean: 7, StoreFrac: 0.25, DepFrac: 0.25, PrefetchEvery: 8, PrefetchAhead: 256},
+	}},
+	"swim": {Name: "swim", Seed: 202, Components: []ComponentSpec{
+		{Kind: PatTriad, Weight: 6, Base: base(0), Bytes: 512 * KB, Stride: 8, PCVar: 0.15, GapMean: 1.5, PrefetchEvery: 16, PrefetchAhead: 512},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 12 * KB, GapMean: 3, StoreFrac: 0.2},
+	}},
+	"mgrid": {Name: "mgrid", Seed: 203, Components: []ComponentSpec{
+		{Kind: PatSeq, Weight: 5, Base: base(0), Bytes: 160 * KB, Stride: 8, PCVar: 0.15, GapMean: 1.5, StoreFrac: 0.2, DepFrac: 0.3},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 160 * KB, Stride: 64, PCVar: 0.15, GapMean: 1.5, DepFrac: 0.3},
+		{Kind: PatRand, Weight: 1, Base: base(2), Bytes: 10 * KB, GapMean: 2},
+	}},
+	"applu": {Name: "applu", Seed: 204, Components: []ComponentSpec{
+		{Kind: PatTriad, Weight: 5, Base: base(0), Bytes: 512 * KB, Stride: 8, PCVar: 0.15, GapMean: 2.5, PrefetchEvery: 16, PrefetchAhead: 512},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 14 * KB, GapMean: 3},
+	}},
+	"mesa": {Name: "mesa", Seed: 205, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 5, Base: base(0), Bytes: 18 * KB, GapMean: 7, StoreFrac: 0.3},
+		{Kind: PatSeq, Weight: 1, Base: base(1), Bytes: 96 * KB, Stride: 16, PCVar: 0.15, GapMean: 7, StoreFrac: 0.3, DepFrac: 0.2},
+	}},
+	"galgel": {Name: "galgel", Seed: 206, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 1, Base: base(0), Bytes: 16 * KB, GapMean: 8, StoreFrac: 0.2},
+	}},
+	"art": {Name: "art", Seed: 207, Components: []ComponentSpec{
+		{Kind: PatSeq, Weight: 4, Base: base(0), Bytes: 2 * MB, Stride: 32, PCVar: 0.15, GapMean: 1, Bursty: true, DepFrac: 0.2},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 1 * MB, Stride: 32, PCVar: 0.15, GapMean: 1, Bursty: true, DepFrac: 0.2},
+		{Kind: PatRand, Weight: 2, Base: base(2), Bytes: 256 * KB, GapMean: 1.5},
+	}},
+	"equake": {Name: "equake", Seed: 208, Components: []ComponentSpec{
+		{Kind: PatChase, Weight: 3, Base: base(0), Nodes: 12288, NodeSize: 32, Touches: 2, GapMean: 3},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 256 * KB, Stride: 8, PCVar: 0.15, GapMean: 3, StoreFrac: 0.25},
+		{Kind: PatRand, Weight: 1, Base: base(2), Bytes: 16 * KB, GapMean: 4},
+	}},
+	"facerec": {Name: "facerec", Seed: 209, Components: []ComponentSpec{
+		{Kind: PatSeq, Weight: 5, Base: base(0), Bytes: 128 * KB, Stride: 32, PCVar: 0.15, GapMean: 1.5, DepFrac: 0.15},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 12 * KB, GapMean: 2, StoreFrac: 0.2},
+	}},
+	"ammp": {Name: "ammp", Seed: 210, Components: []ComponentSpec{
+		{Kind: PatChase, Weight: 12, Base: base(0), Nodes: 1536, NodeSize: 32, Touches: 2, GapMean: 1},
+		{Kind: PatRand, Weight: 1, Base: base(1), Bytes: 8 * KB, GapMean: 2},
+	}},
+	"lucas": {Name: "lucas", Seed: 211, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 2, Base: base(0), Bytes: 20 * KB, GapMean: 6},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 512 * KB, Stride: 64, PCVar: 0.15, GapMean: 6, DepFrac: 0.3},
+	}},
+	"fma3d": {Name: "fma3d", Seed: 212, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 3, Base: base(0), Bytes: 22 * KB, GapMean: 6, StoreFrac: 0.25},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 320 * KB, Stride: 16, PCVar: 0.15, GapMean: 6, StoreFrac: 0.25, DepFrac: 0.25},
+	}},
+	"sixtrack": {Name: "sixtrack", Seed: 213, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 1, Base: base(0), Bytes: 14 * KB, GapMean: 9, StoreFrac: 0.2},
+	}},
+	"apsi": {Name: "apsi", Seed: 214, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 2, Base: base(0), Bytes: 20 * KB, GapMean: 5, StoreFrac: 0.2},
+		{Kind: PatSeq, Weight: 2, Base: base(1), Bytes: 384 * KB, Stride: 16, PCVar: 0.15, GapMean: 5, StoreFrac: 0.25, DepFrac: 0.25},
+	}},
+}
+
+// Names returns all benchmark names in a stable (sorted) order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for name := range profiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BestPerformers are the eight programs the paper's Figures 20 and 21
+// analyse in detail ("the eight best performers").
+var BestPerformers = []string{"gcc", "mcf", "swim", "mgrid", "applu", "art", "facerec", "ammp"}
+
+// Profile returns the Spec for the named benchmark.
+func Profile(name string) (Spec, error) {
+	s, ok := profiles[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return s, nil
+}
+
+// MustProfile is Profile for known-good names; it panics on error.
+func MustProfile(name string) Spec {
+	s, err := Profile(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"testing"
+
+	"timekeeping/internal/trace"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, name := range Names() {
+		spec := MustProfile(name)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNamesCount(t *testing.T) {
+	if got := len(Names()); got != 26 {
+		t.Fatalf("Names() has %d benchmarks, want 26 (the paper's SPEC2000 set)", got)
+	}
+}
+
+func TestBestPerformersExist(t *testing.T) {
+	for _, name := range BestPerformers {
+		if _, err := Profile(name); err != nil {
+			t.Errorf("best performer %s: %v", name, err)
+		}
+	}
+}
+
+func TestProfileUnknown(t *testing.T) {
+	if _, err := Profile("nonesuch"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	spec := MustProfile("gcc")
+	a := spec.Stream(1)
+	b := spec.Stream(1)
+	var ra, rb trace.Ref
+	for i := 0; i < 10000; i++ {
+		if !a.Next(&ra) || !b.Next(&rb) {
+			t.Fatal("stream ended")
+		}
+		if ra != rb {
+			t.Fatalf("streams diverged at ref %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestStreamSeedChangesJitterNotStructure(t *testing.T) {
+	spec := MustProfile("ammp")
+	a := spec.Stream(1)
+	b := spec.Stream(2)
+	// The pointer-chase permutation comes from the same PRNG as the
+	// jitter, so different seeds are simply different programs; all we
+	// require is that both are valid streams.
+	var ra, rb trace.Ref
+	for i := 0; i < 1000; i++ {
+		if !a.Next(&ra) || !b.Next(&rb) {
+			t.Fatal("stream ended")
+		}
+	}
+}
+
+func TestChaseIsDependentAndPeriodic(t *testing.T) {
+	spec := Spec{Name: "chase", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatChase, Weight: 1, Base: 0, Nodes: 64, NodeSize: 32, GapMean: 0},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	first := make([]uint64, 64)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		if !s.Next(&r) {
+			t.Fatal("stream ended")
+		}
+		if !r.DepPrev {
+			t.Fatal("chase reference not dependent")
+		}
+		if seen[r.Addr] {
+			t.Fatalf("node repeated within one lap at %d", i)
+		}
+		seen[r.Addr] = true
+		first[i] = r.Addr
+	}
+	// Second lap must repeat the first exactly.
+	for i := 0; i < 64; i++ {
+		if !s.Next(&r) {
+			t.Fatal("stream ended")
+		}
+		if r.Addr != first[i] {
+			t.Fatalf("lap 2 deviates at %d: %x vs %x", i, r.Addr, first[i])
+		}
+	}
+}
+
+func TestConflictLoopMapsToSameSet(t *testing.T) {
+	const cacheBytes = 32 * KB
+	spec := Spec{Name: "conf", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatConflict, Weight: 1, Base: 0, Ways: 2, Sets: 4, PerSet: 6, CacheBytes: cacheBytes, GapMean: 0},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	for i := 0; i < 6; i++ { // first dwell: one set, alternating ways
+		if !s.Next(&r) {
+			t.Fatal("stream ended")
+		}
+		set := r.Addr % cacheBytes
+		way := r.Addr / cacheBytes
+		if set != 0 {
+			t.Fatalf("ref %d set offset = %d, want 0", i, set)
+		}
+		if way != uint64(i%2) {
+			t.Fatalf("ref %d way = %d, want %d", i, way, i%2)
+		}
+	}
+}
+
+func TestSeqWrapsRegion(t *testing.T) {
+	spec := Spec{Name: "seq", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatSeq, Weight: 1, Base: 0x1000, Bytes: 64, Stride: 8, GapMean: 0},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	for i := 0; i < 20; i++ {
+		if !s.Next(&r) {
+			t.Fatal("stream ended")
+		}
+		want := uint64(0x1000 + (i%8)*8)
+		if r.Addr != want {
+			t.Fatalf("ref %d addr = %#x, want %#x", i, r.Addr, want)
+		}
+	}
+}
+
+func TestTriadLanes(t *testing.T) {
+	spec := Spec{Name: "triad", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatTriad, Weight: 1, Base: 0, Bytes: 1024, Stride: 8, GapMean: 0},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	for i := 0; i < 9; i++ {
+		if !s.Next(&r) {
+			t.Fatal("stream ended")
+		}
+		lane := i % 3
+		el := uint64(i / 3)
+		want := uint64(lane)*(2048+11*1024+64) + el*8
+		if r.Addr != want {
+			t.Fatalf("ref %d addr = %#x, want %#x", i, r.Addr, want)
+		}
+		if lane == 2 && r.Kind != trace.Store {
+			t.Fatalf("lane c should store, got %v", r.Kind)
+		}
+		if lane != 2 && r.Kind != trace.Load {
+			t.Fatalf("lanes a/b should load, got %v", r.Kind)
+		}
+	}
+}
+
+func TestRandStaysInRegion(t *testing.T) {
+	spec := Spec{Name: "rand", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 1, Base: 0x10000, Bytes: 4096, GapMean: 0},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	for i := 0; i < 5000; i++ {
+		if !s.Next(&r) {
+			t.Fatal("stream ended")
+		}
+		if r.Addr < 0x10000 || r.Addr >= 0x10000+4096 {
+			t.Fatalf("addr %#x out of region", r.Addr)
+		}
+	}
+}
+
+func TestSWPrefetchEmitted(t *testing.T) {
+	spec := Spec{Name: "pf", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatSeq, Weight: 1, Base: 0, Bytes: 1 * MB, Stride: 8, GapMean: 0,
+			PrefetchEvery: 4, PrefetchAhead: 256},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	pf := 0
+	for i := 0; i < 1000; i++ {
+		s.Next(&r)
+		if r.Kind == trace.SWPrefetch {
+			pf++
+		}
+	}
+	if pf < 200 || pf > 300 {
+		t.Fatalf("software prefetch count = %d, want ~250", pf)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Components: []ComponentSpec{{Kind: PatRand, Weight: 1, Bytes: 1}}},
+		{Name: "x"},
+		{Name: "x", Components: []ComponentSpec{{Kind: PatRand, Weight: 0, Bytes: 1}}},
+		{Name: "x", Components: []ComponentSpec{{Kind: PatSeq, Weight: 1}}},
+		{Name: "x", Components: []ComponentSpec{{Kind: PatChase, Weight: 1, Nodes: 1}}},
+		{Name: "x", Components: []ComponentSpec{{Kind: PatConflict, Weight: 1, Ways: 1, Sets: 1, CacheBytes: 1}}},
+		{Name: "x", Components: []ComponentSpec{{Kind: PatternKind(99), Weight: 1}}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestStreamPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stream on invalid spec did not panic")
+		}
+	}()
+	(&Spec{Name: "x"}).Stream(1)
+}
+
+func TestPatternKindString(t *testing.T) {
+	want := map[PatternKind]string{
+		PatSeq: "seq", PatTriad: "triad", PatRand: "rand",
+		PatChase: "chase", PatConflict: "conflict", PatternKind(99): "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestGapMeansRoughlyHonored(t *testing.T) {
+	spec := Spec{Name: "g", Seed: 1, Components: []ComponentSpec{
+		{Kind: PatRand, Weight: 1, Base: 0, Bytes: 64 * KB, GapMean: 6},
+	}}
+	s := spec.Stream(1)
+	var r trace.Ref
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Next(&r)
+		sum += float64(r.Gap)
+	}
+	mean := sum / n
+	if mean < 4.5 || mean > 7.5 {
+		t.Fatalf("gap mean = %v, want ~6", mean)
+	}
+}
+
+func TestDescribeAllProfiles(t *testing.T) {
+	for _, name := range Names() {
+		spec := MustProfile(name)
+		d := spec.Describe()
+		if d == "" || d[:len(name)] != name {
+			t.Errorf("%s: bad description %q", name, d)
+		}
+		// Every component contributes a line.
+		lines := 0
+		for _, ch := range d {
+			if ch == '\n' {
+				lines++
+			}
+		}
+		if lines != len(spec.Components)+1 {
+			t.Errorf("%s: %d lines for %d components", name, lines, len(spec.Components))
+		}
+	}
+}
