@@ -10,15 +10,19 @@ import (
 	"testing"
 
 	"timekeeping/internal/experiments"
+	"timekeeping/internal/simcache"
 )
 
 // benchRunner returns a reduced-scale runner. Scale and subset are fixed
-// so -benchtime comparisons are meaningful.
+// so -benchtime comparisons are meaningful, and each runner gets a
+// private result cache (not the process-wide simcache.Default) so every
+// iteration simulates for real.
 func benchRunner() *experiments.Runner {
 	r := experiments.NewRunner()
 	r.Opts.WarmupRefs = 20_000
 	r.Opts.MeasureRefs = 80_000
 	r.Benches = []string{"eon", "twolf", "vpr", "ammp", "swim", "mcf", "facerec", "gcc"}
+	r.Cache = simcache.New()
 	return r
 }
 

@@ -1,0 +1,85 @@
+// Command tkserve runs the simulation service: an HTTP/JSON API over a
+// bounded worker pool and the process-wide content-addressed result
+// cache, so repeated and concurrent requests for the same configuration
+// simulate once.
+//
+// Usage:
+//
+//	tkserve -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/run -d '{"bench":"mcf","prefetch":"timekeeping"}'
+//	curl -s -X POST localhost:8080/v1/experiments/fig13 -d '{"benches":["twolf","vpr"]}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM begin a graceful shutdown: intake stops, running jobs
+// drain, and jobs still unfinished at -drain-timeout are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"timekeeping/internal/serve"
+	"timekeeping/internal/sim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		depth   = flag.Int("queue", 64, "bounded job-queue depth (extra submissions get 503)")
+		warmup  = flag.Uint64("warmup", 0, "default warm-up references per run (0 = sim default)")
+		refs    = flag.Uint64("refs", 0, "default measured references per run (0 = sim default)")
+		seed    = flag.Uint64("seed", 0, "default workload seed (0 = sim default)")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+	)
+	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	base := sim.Default()
+	if *warmup > 0 {
+		base.WarmupRefs = *warmup
+	}
+	if *refs > 0 {
+		base.MeasureRefs = *refs
+	}
+	if *seed > 0 {
+		base.Seed = *seed
+	}
+
+	srv := serve.New(serve.Config{Base: base, Workers: *workers, QueueDepth: *depth})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("tkserve: listening on %s (workers=%d queue=%d)", *addr, *workers, *depth)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("tkserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("tkserve: shutting down, draining jobs (budget %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		log.Printf("tkserve: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("tkserve: job drain: %v", err)
+	}
+	log.Printf("tkserve: bye")
+}

@@ -35,11 +35,18 @@ func main() {
 	flag.Parse()
 
 	opt := sim.Default()
-	opt.VictimFilter = sim.VictimFilter(*victim)
-	opt.Prefetcher = sim.Prefetcher(*pf)
-	if *pf == "timekeeping" {
-		opt.Prefetcher = sim.PrefetchTK
+	vf, err := sim.ParseVictimFilter(*victim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	opt.VictimFilter = vf
+	pref, err := sim.ParsePrefetcher(*pf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt.Prefetcher = pref
 	opt.Hier.PerfectL1 = *perfect
 	opt.Track = *track
 	opt.DropSWPrefetch = *dropSWPF
@@ -54,7 +61,6 @@ func main() {
 	}
 
 	var res sim.Result
-	var err error
 	if *traceIn != "" {
 		f, ferr := os.Open(*traceIn)
 		if ferr != nil {

@@ -23,6 +23,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"timekeeping/internal/trace"
@@ -218,9 +219,30 @@ func (m *Model) Step(r *trace.Ref) (issueCycle uint64) {
 // Run drives up to maxRefs references from the stream (or until it ends)
 // and returns the cumulative execution summary (see Result).
 func (m *Model) Run(s trace.Stream, maxRefs uint64) Result {
+	res, _ := m.RunContext(context.Background(), s, maxRefs)
+	return res
+}
+
+// ctxCheckRefs is how many references RunContext processes between context
+// checks: fine enough that cancellation lands within microseconds, coarse
+// enough that the check is invisible in profiles.
+const ctxCheckRefs = 4096
+
+// RunContext is Run with cancellation at reference-loop granularity: when
+// ctx is cancelled the model stops between references and returns the
+// snapshot so far alongside ctx's error.
+func (m *Model) RunContext(ctx context.Context, s trace.Stream, maxRefs uint64) (Result, error) {
 	var done uint64
 	var r trace.Ref
-	for done < maxRefs && s.Next(&r) {
+	for done < maxRefs {
+		if done%ctxCheckRefs == 0 {
+			if err := ctx.Err(); err != nil {
+				return m.Snapshot(), err
+			}
+		}
+		if !s.Next(&r) {
+			break
+		}
 		m.Step(&r)
 		done++
 		m.refs++
@@ -231,7 +253,7 @@ func (m *Model) Run(s trace.Stream, maxRefs uint64) Result {
 			m.stores++
 		}
 	}
-	return m.Snapshot()
+	return m.Snapshot(), nil
 }
 
 // Snapshot returns the cumulative execution summary without running.

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"timekeeping/internal/core"
 	"timekeeping/internal/report"
 	"timekeeping/internal/sim"
+	"timekeeping/internal/simcache"
 	"timekeeping/internal/workload"
 )
 
@@ -39,73 +41,101 @@ var mutators = map[string]func(*sim.Options){
 	cfgDBCP:    func(o *sim.Options) { o.Prefetcher = sim.PrefetchDBCP },
 }
 
-// Runner memoises simulation results across experiments so that, e.g., the
-// baseline runs Figure 1 needs are reused by Figures 2, 13, 19 and 22.
+// Runner resolves simulation results through a shared content-addressed
+// cache, so that, e.g., the baseline runs Figure 1 needs are reused by
+// Figures 2, 13, 19 and 22 — and by every other Runner (or tkserve
+// request) in the process that asks for the same configuration.
 type Runner struct {
 	// Opts is the base configuration each named run mutates.
 	Opts sim.Options
 	// Benches is the benchmark set (defaults to the full 26-program
 	// suite).
 	Benches []string
-
-	mu      sync.Mutex
-	results map[string]map[string]sim.Result
+	// Cache stores results keyed by configuration content; nil means the
+	// process-wide simcache.Default. Concurrent Runners sharing a cache
+	// never simulate the same (config, bench) pair twice.
+	Cache *simcache.Store
+	// Ctx, when set, cancels in-flight simulations at reference-loop
+	// granularity; runs then panic with the context error (recovered by
+	// the serving layer).
+	Ctx context.Context
 }
 
 // NewRunner returns a Runner at the default simulation scale over the full
-// suite.
+// suite, backed by the process-wide result cache.
 func NewRunner() *Runner {
 	return &Runner{
 		Opts:    sim.Default(),
 		Benches: workload.Names(),
-		results: make(map[string]map[string]sim.Result),
+		Cache:   simcache.Default,
 	}
 }
 
-// get returns the memoised result for (config, bench), running it if
-// needed.
-func (r *Runner) get(config, bench string) sim.Result {
-	r.ensure(config, []string{bench})
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.results[config][bench]
+func (r *Runner) cache() *simcache.Store {
+	if r.Cache != nil {
+		return r.Cache
+	}
+	return simcache.Default
 }
 
-// ensure runs any missing (config, bench) pairs, in parallel.
-func (r *Runner) ensure(config string, benches []string) {
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// options returns the named config's full option set; it panics on an
+// unknown config name.
+func (r *Runner) options(config string) sim.Options {
 	mutate, ok := mutators[config]
 	if !ok {
 		panic(fmt.Sprintf("experiments: unknown config %q", config))
 	}
-	r.mu.Lock()
-	if r.results[config] == nil {
-		r.results[config] = make(map[string]sim.Result)
-	}
-	var missing []string
-	for _, b := range benches {
-		if _, done := r.results[config][b]; !done {
-			missing = append(missing, b)
-		}
-	}
-	r.mu.Unlock()
-	if len(missing) == 0 {
-		return
-	}
+	opts := r.Opts
+	mutate(&opts)
+	return opts
+}
 
+// get returns the cached result for (config, bench), running it if needed.
+func (r *Runner) get(config, bench string) sim.Result {
+	res, err := r.run(bench, r.options(config))
+	if err != nil {
+		panic(fmt.Errorf("experiments: %s/%s: %w", config, bench, err))
+	}
+	return res
+}
+
+// run resolves one (bench, opts) pair through the shared cache; concurrent
+// callers of the same pair simulate once.
+func (r *Runner) run(bench string, opts sim.Options) (sim.Result, error) {
+	spec := workload.MustProfile(bench)
+	res, _, err := r.cache().Do(r.ctx(), simcache.Key(bench, opts), func(ctx context.Context) (sim.Result, error) {
+		return sim.RunContext(ctx, spec, opts)
+	})
+	return res, err
+}
+
+// ensure runs any missing (config, bench) pairs in parallel, at most
+// GOMAXPROCS at a time. The semaphore is acquired before each goroutine is
+// spawned, so no more than GOMAXPROCS worker goroutines ever exist; pairs
+// another Runner already has in flight are joined, not re-simulated.
+func (r *Runner) ensure(config string, benches []string) {
+	opts := r.options(config)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	for _, bench := range missing {
+	for _, bench := range benches {
+		if _, ok := r.cache().Lookup(simcache.Key(bench, opts)); ok {
+			continue
+		}
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(bench string) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			opts := r.Opts
-			mutate(&opts)
-			res := sim.MustRun(workload.MustProfile(bench), opts)
-			r.mu.Lock()
-			r.results[config][bench] = res
-			r.mu.Unlock()
+			// Errors (cancellation) are surfaced by the get that needs
+			// the result; a panic here would tear the process down.
+			_, _ = r.run(bench, opts)
 		}(bench)
 	}
 	wg.Wait()

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"timekeeping/internal/report"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/simcache"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: Queued -> Running -> one of Done / Failed / Canceled.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// ErrQueueFull is returned when the bounded job queue cannot accept
+// another submission.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining is returned for submissions after shutdown has begun.
+var ErrDraining = errors.New("serve: shutting down")
+
+// Job is the externally visible snapshot of one queued simulation or
+// experiment.
+type Job struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`   // "run" or "experiment"
+	Target string `json:"target"` // benchmark or experiment ID
+	Status Status `json:"status"`
+
+	Cache simcache.Outcome `json:"cache,omitempty"` // how a run was satisfied
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	WallMS      float64    `json:"wall_ms,omitempty"` // running -> finished
+
+	Result *sim.Result     `json:"result,omitempty"` // run jobs
+	Tables []*report.Table `json:"tables,omitempty"` // experiment jobs
+	Error  string          `json:"error,omitempty"`
+}
+
+// job is the manager's mutable record behind a Job snapshot. All fields
+// below ctx are guarded by manager.mu.
+type job struct {
+	snap   Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(ctx context.Context, j *job) error
+	done   chan struct{}
+}
+
+// manager owns the bounded queue, the worker pool and the job table.
+type manager struct {
+	queue chan *job
+
+	baseCtx    context.Context // parent of async job contexts
+	baseCancel context.CancelFunc
+	workers    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+
+	queued, running           int
+	nDone, nFailed, nCanceled uint64
+}
+
+func newManager(workers, depth int) *manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &manager{
+		queue:      make(chan *job, depth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// submit registers and enqueues a job whose work is fn. parent is the
+// context the job's own context derives from: the HTTP request context
+// for synchronous jobs, nil for async jobs (detached; cancelled via
+// cancelJob or shutdown).
+func (m *manager) submit(kind, target string, parent context.Context, fn func(context.Context, *job) error) (*job, error) {
+	if parent == nil {
+		parent = m.baseCtx
+	}
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		ctx:    ctx,
+		cancel: cancel,
+		run:    fn,
+		done:   make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		cancel()
+		return nil, ErrDraining
+	}
+	m.seq++
+	j.snap = Job{
+		ID:          fmt.Sprintf("j%d", m.seq),
+		Kind:        kind,
+		Target:      target,
+		Status:      StatusQueued,
+		SubmittedAt: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.seq--
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.snap.ID] = j
+	m.order = append(m.order, j.snap.ID)
+	m.queued++
+	return j, nil
+}
+
+func (m *manager) worker() {
+	defer m.workers.Done()
+	for j := range m.queue {
+		m.mu.Lock()
+		m.queued--
+		m.running++
+		now := time.Now()
+		j.snap.Status = StatusRunning
+		j.snap.StartedAt = &now
+		m.mu.Unlock()
+
+		err := m.exec(j)
+		j.cancel()
+
+		m.mu.Lock()
+		m.running--
+		fin := time.Now()
+		j.snap.FinishedAt = &fin
+		j.snap.WallMS = float64(fin.Sub(*j.snap.StartedAt)) / float64(time.Millisecond)
+		switch {
+		case err == nil:
+			j.snap.Status = StatusDone
+			m.nDone++
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.snap.Status = StatusCanceled
+			j.snap.Error = err.Error()
+			m.nCanceled++
+		default:
+			j.snap.Status = StatusFailed
+			j.snap.Error = err.Error()
+			m.nFailed++
+		}
+		m.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// exec runs a job's work function, converting panics (the experiments
+// runner panics on cancellation mid-figure) into job errors so one bad
+// job cannot take the service down.
+func (m *manager) exec(j *job) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if pe, ok := p.(error); ok {
+				err = pe
+			} else {
+				err = fmt.Errorf("serve: job panic: %v", p)
+			}
+		}
+	}()
+	return j.run(j.ctx, j)
+}
+
+// update mutates a job's snapshot under the manager lock.
+func (m *manager) update(j *job, fn func(*Job)) {
+	m.mu.Lock()
+	fn(&j.snap)
+	m.mu.Unlock()
+}
+
+// get returns a snapshot of the job with the given ID.
+func (m *manager) get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snap, true
+}
+
+// list returns snapshots of every job in submission order.
+func (m *manager) list() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].snap)
+	}
+	return out
+}
+
+// cancelJob cancels the job's context; a queued or running job then
+// finishes as canceled.
+func (m *manager) cancelJob(id string) (Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	j.cancel()
+	snap, _ := m.get(id)
+	return snap, true
+}
+
+// counters returns the queue gauges and lifecycle totals.
+func (m *manager) counters() (queued, running int, done, failed, canceled uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued, m.running, m.nDone, m.nFailed, m.nCanceled
+}
+
+// shutdown stops intake and drains the queue: already-submitted jobs keep
+// running. If ctx expires first, every remaining job is cancelled and
+// shutdown waits for the workers to observe that, then returns ctx's
+// error.
+func (m *manager) shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	if !already {
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.cancel()
+		}
+		m.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders the service's operational counters in the
+// Prometheus text exposition format (no client library needed — the
+// format is lines of "name value").
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, running, done, failed, canceled := s.mgr.counters()
+	cs := s.cache.Stats()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	put := func(name string, value any) {
+		fmt.Fprintf(w, "tkserve_%s %v\n", name, value)
+	}
+	put("jobs_queued", queued)
+	put("jobs_running", running)
+	put("jobs_done_total", done)
+	put("jobs_failed_total", failed)
+	put("jobs_canceled_total", canceled)
+	put("cache_entries", cs.Entries)
+	put("cache_inflight", cs.Inflight)
+	put("cache_hits_total", cs.Hits)
+	put("cache_misses_total", cs.Misses)
+	put("cache_joined_total", cs.Joined)
+	put("sim_runs_total", cs.Runs)
+	put("sim_refs_total", cs.Refs)
+	put("sim_wall_seconds_total", cs.Wall.Seconds())
+	if cs.Runs > 0 {
+		put("sim_wall_seconds_avg", (cs.Wall / time.Duration(cs.Runs)).Seconds())
+	} else {
+		put("sim_wall_seconds_avg", 0)
+	}
+}

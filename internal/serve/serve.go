@@ -1,0 +1,301 @@
+// Package serve implements tkserve, a long-running simulation service: an
+// HTTP/JSON API over a bounded worker-pool job queue, backed by the
+// process-wide content-addressed result cache (internal/simcache), so
+// concurrent and repeated requests for the same configuration simulate
+// once. Client disconnects and deadlines cancel in-flight simulations at
+// reference-loop granularity.
+//
+// Endpoints:
+//
+//	POST   /v1/run               run one simulation (async with "async":true)
+//	POST   /v1/experiments/{id}  regenerate a paper figure/table/ablation
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status + result
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus-style text metrics
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"timekeeping/internal/experiments"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/simcache"
+	"timekeeping/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Base is the option set each request mutates (zero value:
+	// sim.Default()).
+	Base sim.Options
+	// Workers is the worker-pool size (0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (0: 64); submissions
+	// beyond it get 503.
+	QueueDepth int
+	// Cache is the shared result store (nil: simcache.Default).
+	Cache *simcache.Store
+}
+
+// Server is one tkserve instance. Create with New; serve s.Handler().
+type Server struct {
+	base  sim.Options
+	cache *simcache.Store
+	mgr   *manager
+	mux   *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = simcache.Default
+	}
+	if cfg.Base == (sim.Options{}) {
+		cfg.Base = sim.Default()
+	}
+	s := &Server{
+		base:  cfg.Base,
+		cache: cfg.Cache,
+		mgr:   newManager(cfg.Workers, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops intake and drains the job queue; jobs still unfinished
+// when ctx expires are cancelled. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.shutdown(ctx) }
+
+// RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
+// server's base options.
+type RunRequest struct {
+	Bench          string `json:"bench"`
+	Victim         string `json:"victim"`
+	VictimEntries  int    `json:"victim_entries"`
+	Prefetch       string `json:"prefetch"`
+	Perfect        bool   `json:"perfect"`
+	Track          bool   `json:"track"`
+	DropSWPrefetch bool   `json:"drop_sw_prefetch"`
+	Warmup         uint64 `json:"warmup"`
+	Refs           uint64 `json:"refs"`
+	Seed           uint64 `json:"seed"`
+	// Async detaches the job from the request: the response is an
+	// immediate 202 with the job ID, polled via GET /v1/jobs/{id}.
+	// Synchronous requests block until the job finishes, and a client
+	// disconnect cancels the simulation.
+	Async bool `json:"async"`
+}
+
+// options resolves the request against the server's base configuration.
+func (s *Server) options(req RunRequest) (sim.Options, error) {
+	opt := s.base
+	vf, err := sim.ParseVictimFilter(req.Victim)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	pf, err := sim.ParsePrefetcher(req.Prefetch)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	opt.VictimFilter = vf
+	opt.Prefetcher = pf
+	if req.VictimEntries > 0 {
+		opt.VictimEntries = req.VictimEntries
+	}
+	opt.Hier.PerfectL1 = req.Perfect
+	opt.Track = req.Track
+	opt.DropSWPrefetch = req.DropSWPrefetch
+	if req.Warmup > 0 {
+		opt.WarmupRefs = req.Warmup
+	}
+	if req.Refs > 0 {
+		opt.MeasureRefs = req.Refs
+	}
+	if req.Seed > 0 {
+		opt.Seed = req.Seed
+	}
+	return opt, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	spec, err := workload.Profile(req.Bench)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w (known: %v)", err, workload.Names()))
+		return
+	}
+	opt, err := s.options(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	key := simcache.Key(spec.Name, opt)
+	fn := func(ctx context.Context, j *job) error {
+		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
+			return sim.RunContext(ctx, spec, opt)
+		})
+		s.mgr.update(j, func(snap *Job) {
+			snap.Cache = outcome
+			if err == nil {
+				snap.Result = &res
+			}
+		})
+		return err
+	}
+	s.dispatch(w, r, "run", spec.Name, req.Async, fn)
+}
+
+// ExperimentRequest is the body of POST /v1/experiments/{id}. All fields
+// are optional.
+type ExperimentRequest struct {
+	Benches []string `json:"benches"`
+	Warmup  uint64   `json:"warmup"`
+	Refs    uint64   `json:"refs"`
+	Seed    uint64   `json:"seed"`
+	Async   bool     `json:"async"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	req := ExperimentRequest{}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	}
+	for _, b := range req.Benches {
+		if _, err := workload.Profile(b); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	fn := func(ctx context.Context, j *job) error {
+		rn := experiments.NewRunner()
+		rn.Cache = s.cache
+		rn.Ctx = ctx
+		if req.Warmup > 0 {
+			rn.Opts.WarmupRefs = req.Warmup
+		}
+		if req.Refs > 0 {
+			rn.Opts.MeasureRefs = req.Refs
+		}
+		if req.Seed > 0 {
+			rn.Opts.Seed = req.Seed
+		}
+		if len(req.Benches) > 0 {
+			rn.Benches = req.Benches
+		}
+		tables := exp.Run(rn)
+		s.mgr.update(j, func(snap *Job) { snap.Tables = tables })
+		return nil
+	}
+	s.dispatch(w, r, "experiment", id, req.Async, fn)
+}
+
+// dispatch submits a job and replies: async jobs get an immediate 202
+// snapshot, synchronous jobs block until done (the request context is the
+// job's context, so a disconnected client cancels the work).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target string, async bool, fn func(context.Context, *job) error) {
+	parent := r.Context()
+	if async {
+		parent = nil // detach from the request; lives until done or cancelled
+	}
+	j, err := s.mgr.submit(kind, target, parent, fn)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if async {
+		snap, _ := s.mgr.get(j.snap.ID)
+		writeJSON(w, http.StatusAccepted, snap)
+		return
+	}
+	<-j.done
+	snap, _ := s.mgr.get(j.snap.ID)
+	switch snap.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, snap)
+	case StatusCanceled:
+		writeJSON(w, http.StatusServiceUnavailable, snap)
+	default:
+		writeJSON(w, http.StatusInternalServerError, snap)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.list())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.mgr.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // a gone client is the only failure
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"timekeeping/internal/simcache"
+)
+
+// fastRun is a request that simulates in milliseconds.
+const fastRun = `{"bench":"eon","warmup":2000,"refs":8000}`
+
+// foreverRun would simulate for hours; only cancellation ends it.
+const foreverRun = `{"bench":"mcf","warmup":1000,"refs":4000000000}`
+
+// newTestServer starts a service with an isolated cache so metric
+// assertions see only this test's traffic.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = simcache.New()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// post sends a JSON body and decodes the response, which is a job
+// snapshot on success and {"error": ...} otherwise (both land in Job).
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, Job) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("POST %s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, j
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) (int, Job) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, j
+}
+
+// scrape parses /metrics into name -> value.
+func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	m := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var name string
+		var v float64
+		if _, err := fmt.Sscanf(sc.Text(), "%s %g", &name, &v); err == nil {
+			m[name] = v
+		}
+	}
+	return m
+}
+
+// waitMetric polls /metrics until name reaches want or the deadline hits.
+func waitMetric(t *testing.T, ts *httptest.Server, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if scrape(t, ts)[name] == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("metric %s never reached %g (metrics: %v)", name, want, scrape(t, ts))
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestColdRunThenCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, j := post(t, ts, "/v1/run", fastRun)
+	if code != http.StatusOK || j.Status != StatusDone {
+		t.Fatalf("cold run: code=%d job=%+v", code, j)
+	}
+	if j.Cache != simcache.Miss {
+		t.Fatalf("cold run cache outcome = %q, want miss", j.Cache)
+	}
+	if j.Result == nil || j.Result.CPU.IPC <= 0 {
+		t.Fatalf("cold run has no result: %+v", j.Result)
+	}
+	m := scrape(t, ts)
+	if m["tkserve_cache_misses_total"] != 1 || m["tkserve_sim_runs_total"] != 1 {
+		t.Fatalf("after cold run: %v", m)
+	}
+
+	code, j2 := post(t, ts, "/v1/run", fastRun)
+	if code != http.StatusOK || j2.Cache != simcache.Hit {
+		t.Fatalf("re-run: code=%d cache=%q", code, j2.Cache)
+	}
+	if j2.Result.CPU.IPC != j.Result.CPU.IPC {
+		t.Fatalf("cached IPC %v != original %v", j2.Result.CPU.IPC, j.Result.CPU.IPC)
+	}
+	m = scrape(t, ts)
+	// The hit counter moved; the miss/run counters did not — the second
+	// request did not simulate.
+	if m["tkserve_cache_hits_total"] != 1 || m["tkserve_cache_misses_total"] != 1 || m["tkserve_sim_runs_total"] != 1 {
+		t.Fatalf("after re-run: %v", m)
+	}
+	if m["tkserve_jobs_done_total"] != 2 {
+		t.Fatalf("jobs done = %v, want 2", m["tkserve_jobs_done_total"])
+	}
+}
+
+func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 8})
+
+	const n = 6
+	body := `{"bench":"twolf","warmup":2000,"refs":8000}`
+	var wg sync.WaitGroup
+	ipcs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, j := post(t, ts, "/v1/run", body)
+			if code != http.StatusOK || j.Result == nil {
+				t.Errorf("request %d: code=%d job=%+v", i, code, j)
+				return
+			}
+			ipcs[i] = j.Result.CPU.IPC
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if ipcs[i] != ipcs[0] {
+			t.Fatalf("request %d got IPC %v, request 0 got %v", i, ipcs[i], ipcs[0])
+		}
+	}
+	m := scrape(t, ts)
+	if m["tkserve_cache_misses_total"] != 1 || m["tkserve_sim_runs_total"] != 1 {
+		t.Fatalf("identical requests did not collapse to one simulation: %v", m)
+	}
+	if m["tkserve_cache_hits_total"]+m["tkserve_cache_joined_total"] != n-1 {
+		t.Fatalf("hits+joined = %v, want %d: %v",
+			m["tkserve_cache_hits_total"]+m["tkserve_cache_joined_total"], n-1, m)
+	}
+}
+
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(foreverRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+
+	// Wait until the simulation is actually in flight, then disconnect.
+	waitMetric(t, ts, "tkserve_jobs_running", 1)
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("disconnected request returned without error")
+	}
+
+	waitMetric(t, ts, "tkserve_jobs_canceled_total", 1)
+	waitMetric(t, ts, "tkserve_jobs_running", 0)
+	waitMetric(t, ts, "tkserve_cache_inflight", 0) // the simulation itself stopped
+	m := scrape(t, ts)
+	// The in-flight simulation was stopped, not completed and cached.
+	if m["tkserve_sim_runs_total"] != 0 || m["tkserve_cache_entries"] != 0 {
+		t.Fatalf("cancelled run left state behind: %v", m)
+	}
+}
+
+func TestAsyncJobLifecycleAndCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := `{"bench":"mcf","warmup":1000,"refs":4000000000,"async":true}`
+	code, j := post(t, ts, "/v1/run", body)
+	if code != http.StatusAccepted || j.ID == "" {
+		t.Fatalf("async submit: code=%d job=%+v", code, j)
+	}
+	waitMetric(t, ts, "tkserve_jobs_running", 1)
+	if code, snap := getJob(t, ts, j.ID); code != http.StatusOK || snap.Status != StatusRunning {
+		t.Fatalf("job status: code=%d snap=%+v", code, snap)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+
+	waitMetric(t, ts, "tkserve_jobs_canceled_total", 1)
+	if _, snap := getJob(t, ts, j.ID); snap.Status != StatusCanceled {
+		t.Fatalf("job after cancel: %+v", snap)
+	}
+
+	if code, _ := getJob(t, ts, "j999"); code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d", code)
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := `{"benches":["twolf","ammp"],"warmup":2000,"refs":8000}`
+	code, j := post(t, ts, "/v1/experiments/fig2", body)
+	if code != http.StatusOK || j.Status != StatusDone {
+		t.Fatalf("experiment: code=%d job=%+v", code, j)
+	}
+	if len(j.Tables) == 0 || len(j.Tables[0].Rows) != 2 {
+		t.Fatalf("experiment tables: %+v", j.Tables)
+	}
+	// fig2 needs base+perfect per bench: four simulations, all cached now.
+	if m := scrape(t, ts); m["tkserve_sim_runs_total"] != 4 {
+		t.Fatalf("experiment simulations: %v", m)
+	}
+
+	if code, _ := post(t, ts, "/v1/experiments/nope", "{}"); code != http.StatusNotFound {
+		t.Fatalf("unknown experiment = %d", code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []string{
+		`{"bench":"not-a-bench"}`,
+		`{"bench":"eon","victim":"decai"}`,
+		`{"bench":"eon","prefetch":"timekeepin"}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		if code, j := post(t, ts, "/v1/run", body); code != http.StatusBadRequest || j.Error == "" {
+			t.Errorf("body %q: code=%d error=%q", body, code, j.Error)
+		}
+	}
+	if m := scrape(t, ts); m["tkserve_sim_runs_total"] != 0 {
+		t.Fatalf("invalid requests simulated: %v", m)
+	}
+}
+
+func TestBoundedQueueRejectsOverflow(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	async := `{"bench":"mcf","warmup":1000,"refs":4000000000,"async":true}`
+	code, j1 := post(t, ts, "/v1/run", async)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	waitMetric(t, ts, "tkserve_jobs_running", 1) // worker busy
+	code, j2 := post(t, ts, "/v1/run", async)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit = %d", code)
+	}
+	code, j3 := post(t, ts, "/v1/run", async) // queue full
+	if code != http.StatusServiceUnavailable || j3.Error == "" {
+		t.Fatalf("overflow submit: code=%d job=%+v", code, j3)
+	}
+
+	for _, id := range []string{j1.ID, j2.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	waitMetric(t, ts, "tkserve_jobs_canceled_total", 2)
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	code, _ := post(t, ts, "/v1/run", fastRun)
+	if code != http.StatusOK {
+		t.Fatalf("run = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drained shutdown returned %v", err)
+	}
+	// Submissions after shutdown are rejected.
+	if code, j := post(t, ts, "/v1/run", fastRun); code != http.StatusServiceUnavailable || j.Error == "" {
+		t.Fatalf("post-shutdown submit: code=%d job=%+v", code, j)
+	}
+}

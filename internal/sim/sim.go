@@ -5,7 +5,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"timekeeping/internal/core"
 	"timekeeping/internal/cpu"
@@ -29,6 +31,26 @@ const (
 	VictimReload   VictimFilter = "reload"   // reload-interval filter (the paper's L2-located alternative)
 )
 
+// VictimFilters lists every accepted non-off VictimFilter value.
+func VictimFilters() []VictimFilter {
+	return []VictimFilter{VictimNone, VictimCollins, VictimDecay, VictimAdaptive, VictimReload}
+}
+
+// ParseVictimFilter validates a user-supplied victim-filter name ("" means
+// no victim cache). The error names the accepted values.
+func ParseVictimFilter(s string) (VictimFilter, error) {
+	v := VictimFilter(s)
+	if v == VictimOff {
+		return v, nil
+	}
+	for _, k := range VictimFilters() {
+		if v == k {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("sim: unknown victim filter %q (accepted: %s)", s, joinNames(VictimFilters()))
+}
+
 // Prefetcher selects the prefetch mechanism.
 type Prefetcher string
 
@@ -39,6 +61,34 @@ const (
 	PrefetchDBCP     Prefetcher = "dbcp"
 	PrefetchNextLine Prefetcher = "nextline"
 )
+
+// Prefetchers lists every accepted non-off Prefetcher value.
+func Prefetchers() []Prefetcher {
+	return []Prefetcher{PrefetchTK, PrefetchDBCP, PrefetchNextLine}
+}
+
+// ParsePrefetcher validates a user-supplied prefetcher name ("" means no
+// prefetcher). The error names the accepted values.
+func ParsePrefetcher(s string) (Prefetcher, error) {
+	p := Prefetcher(s)
+	if p == PrefetchOff {
+		return p, nil
+	}
+	for _, k := range Prefetchers() {
+		if p == k {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("sim: unknown prefetcher %q (accepted: %s)", s, joinNames(Prefetchers()))
+}
+
+func joinNames[T ~string](vals []T) string {
+	names := make([]string, len(vals))
+	for i, v := range vals {
+		names[i] = string(v)
+	}
+	return strings.Join(names, " | ")
+}
 
 // Options configures one run. The zero value plus Default() gives the
 // Table 1 baseline.
@@ -93,6 +143,10 @@ type Result struct {
 	CPU   cpu.Result
 	Hier  hier.Stats
 
+	// TotalRefs counts every reference the run processed, including the
+	// warm-up window (CPU.Refs covers the measured window only).
+	TotalRefs uint64
+
 	Victim  *victim.Stats
 	Tracker *core.Metrics
 
@@ -117,15 +171,26 @@ func (r Result) VictimFillPerCycle() float64 {
 
 // Run simulates the benchmark under the given options.
 func Run(spec workload.Spec, opt Options) (Result, error) {
+	return RunContext(context.Background(), spec, opt)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// simulation stops at reference-loop granularity and returns ctx's error.
+func RunContext(ctx context.Context, spec workload.Spec, opt Options) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
-	return RunStream(spec.Name, spec.Stream(opt.Seed), opt)
+	return RunStreamContext(ctx, spec.Name, spec.Stream(opt.Seed), opt)
 }
 
 // RunStream simulates an arbitrary reference stream (e.g. a saved trace
 // file) under the given options; name labels the result.
 func RunStream(name string, stream trace.Stream, opt Options) (Result, error) {
+	return RunStreamContext(context.Background(), name, stream, opt)
+}
+
+// RunStreamContext is RunStream with cancellation (see RunContext).
+func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt Options) (Result, error) {
 	if err := opt.Hier.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -208,7 +273,10 @@ func RunStream(name string, stream trace.Stream, opt Options) (Result, error) {
 	}
 
 	m := cpu.New(opt.CPU, h)
-	warm := m.Run(stream, opt.WarmupRefs)
+	warm, err := m.RunContext(ctx, stream, opt.WarmupRefs)
+	if err != nil {
+		return Result{}, err
+	}
 
 	// Measurement window: reset statistics, keep all state.
 	h.ResetStats()
@@ -228,12 +296,16 @@ func RunStream(name string, stream trace.Stream, opt Options) (Result, error) {
 		tracker.Reset()
 	}
 
-	final := m.Run(stream, opt.MeasureRefs)
+	final, err := m.RunContext(ctx, stream, opt.MeasureRefs)
+	if err != nil {
+		return Result{}, err
+	}
 
 	res := Result{
-		Bench: name,
-		CPU:   final.Minus(warm),
-		Hier:  h.Stats(),
+		Bench:     name,
+		CPU:       final.Minus(warm),
+		Hier:      h.Stats(),
+		TotalRefs: final.Refs,
 	}
 	if vc != nil {
 		s := vc.Stats()

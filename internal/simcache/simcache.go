@@ -1,0 +1,174 @@
+// Package simcache is a process-wide, content-addressed store of
+// simulation results. Results are keyed by a canonical hash of
+// (benchmark, sim.Options), so any caller — the tkserve service, the
+// experiments runner, a test — that asks for a configuration someone else
+// already ran gets the stored result instead of simulating again.
+//
+// Concurrent requests for the same key are collapsed into a single
+// simulation (singleflight). Each in-flight run is reference-counted by
+// the callers waiting on it: a caller whose context is cancelled detaches
+// without disturbing the run, and the run itself is cancelled only when
+// the last interested caller has gone away.
+//
+// Stored results are shared between callers and must be treated as
+// immutable.
+package simcache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"timekeeping/internal/sim"
+)
+
+// Key returns the canonical content address of a (benchmark, options)
+// pair: the hex SHA-256 of their deterministic JSON encoding. Every field
+// of sim.Options that changes simulation behaviour changes the key.
+func Key(bench string, opt sim.Options) string {
+	blob, err := json.Marshal(struct {
+		Bench string
+		Opt   sim.Options
+	}{bench, opt})
+	if err != nil {
+		panic(fmt.Sprintf("simcache: encoding options: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Outcome says how a Do call was satisfied.
+type Outcome string
+
+const (
+	// Hit means the result was already in the store.
+	Hit Outcome = "hit"
+	// Miss means this call started the simulation.
+	Miss Outcome = "miss"
+	// Joined means the call attached to another caller's in-flight run.
+	Joined Outcome = "joined"
+)
+
+// Stats is a point-in-time snapshot of store activity.
+type Stats struct {
+	Entries  int           // results currently stored
+	Inflight int           // runs currently executing
+	Hits     uint64        // Do calls answered from the store
+	Misses   uint64        // Do calls that started a simulation
+	Joined   uint64        // Do calls that attached to an in-flight run
+	Runs     uint64        // simulations completed successfully
+	Refs     uint64        // references simulated by completed runs (incl. warm-up)
+	Wall     time.Duration // total wall time of completed runs
+}
+
+// flight is one in-progress simulation and the callers waiting on it.
+type flight struct {
+	waiters int // callers still interested; guarded by Store.mu
+	cancel  context.CancelFunc
+	done    chan struct{}
+	res     sim.Result // set before done closes
+	err     error
+}
+
+// Store is the cache. Use New; the zero value is not ready.
+type Store struct {
+	mu       sync.Mutex
+	results  map[string]sim.Result
+	inflight map[string]*flight
+	stats    Stats
+}
+
+// Default is the process-wide store shared by the tkserve service and the
+// experiments runner. It grows with the set of distinct configurations
+// simulated over the process lifetime.
+var Default = New()
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		results:  make(map[string]sim.Result),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Lookup returns the stored result for key, with no side effects on the
+// hit/miss counters.
+func (s *Store) Lookup(key string) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.results[key]
+	return res, ok
+}
+
+// Stats returns an activity snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.results)
+	st.Inflight = len(s.inflight)
+	return st
+}
+
+// Do returns the result for key, running fn at most once across all
+// concurrent callers. fn receives a context that stays live while at
+// least one Do caller is still waiting on this key and is cancelled when
+// the last of them gives up; ctx going away while others still wait
+// detaches this caller only.
+func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (sim.Result, error)) (sim.Result, Outcome, error) {
+	s.mu.Lock()
+	if res, ok := s.results[key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		return res, Hit, nil
+	}
+	outcome := Joined
+	f, ok := s.inflight[key]
+	if ok {
+		s.stats.Joined++
+	} else {
+		outcome = Miss
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{cancel: cancel, done: make(chan struct{})}
+		s.inflight[key] = f
+		s.stats.Misses++
+		go s.run(key, f, fctx, fn)
+	}
+	f.waiters++
+	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.res, outcome, f.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		s.mu.Unlock()
+		return sim.Result{}, outcome, ctx.Err()
+	}
+}
+
+// run executes one flight and publishes its result.
+func (s *Store) run(key string, f *flight, fctx context.Context, fn func(context.Context) (sim.Result, error)) {
+	start := time.Now()
+	res, err := fn(fctx)
+	f.cancel()
+	s.mu.Lock()
+	f.res, f.err = res, err
+	delete(s.inflight, key)
+	if err == nil {
+		s.results[key] = res
+		s.stats.Runs++
+		s.stats.Refs += res.TotalRefs
+		s.stats.Wall += time.Since(start)
+	}
+	s.mu.Unlock()
+	close(f.done)
+}
