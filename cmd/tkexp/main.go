@@ -4,7 +4,10 @@
 //
 //	tkexp [flags] all            # every experiment, in paper order
 //	tkexp [flags] fig8 fig13     # specific experiments
-//	tkexp -list                  # list experiment IDs
+//	tkexp -list                  # list experiment IDs and benchmarks
+//
+// While experiments run, a live progress line on stderr tracks simulated
+// references and throughput across the sweep (disable with -progress=false).
 //
 // Flags scale the simulations (-warmup, -refs) and restrict the benchmark
 // set (-benches gcc,mcf,ammp).
@@ -18,26 +21,33 @@ import (
 	"time"
 
 	"timekeeping/internal/experiments"
+	"timekeeping/internal/obs"
 	"timekeeping/internal/workload"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		warmup  = flag.Uint64("warmup", 0, "warm-up references per run (0 = default)")
-		refs    = flag.Uint64("refs", 0, "measured references per run (0 = default)")
-		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 26)")
-		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		warmup   = flag.Uint64("warmup", 0, "warm-up references per run (0 = default)")
+		refs     = flag.Uint64("refs", 0, "measured references per run (0 = default)")
+		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all 26)")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		progress = flag.Bool("progress", true, "print a live sweep progress line on stderr")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments:")
 		for _, e := range experiments.All() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
 		}
 		for _, e := range experiments.Ablations() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("benchmarks:")
+		for _, name := range workload.Names() {
+			fmt.Printf("  %s\n", name)
 		}
 		return
 	}
@@ -49,6 +59,12 @@ func main() {
 	}
 
 	runner := experiments.NewRunner()
+	if *progress {
+		prog := new(obs.Progress)
+		runner.Opts.Progress = prog
+		stop := startProgressLine(prog)
+		defer stop()
+	}
 	if *warmup > 0 {
 		runner.Opts.WarmupRefs = *warmup
 	}
@@ -99,5 +115,38 @@ func main() {
 			}
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+// startProgressLine repaints a live sweep-progress line on stderr every
+// quarter second: references simulated so far out of the references the
+// sweep has committed to, and the mean simulation throughput. Cached runs
+// never register, so the line tracks real simulation work only. The
+// returned stop function clears the line.
+func startProgressLine(prog *obs.Progress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s := prog.Snapshot()
+				if s.Expected == 0 {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "\r\x1b[K[sweep] %s refs %d/%d (%.1f Mref/s)",
+					s.Phase, s.Done, s.Expected, s.RefsPerSec/1e6)
+			case <-done:
+				fmt.Fprint(os.Stderr, "\r\x1b[K")
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }

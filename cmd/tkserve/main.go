@@ -39,6 +39,7 @@ func main() {
 		refs    = flag.Uint64("refs", 0, "default measured references per run (0 = sim default)")
 		seed    = flag.Uint64("seed", 0, "default workload seed (0 = sim default)")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+		pprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -56,7 +57,7 @@ func main() {
 		base.Seed = *seed
 	}
 
-	srv := serve.New(serve.Config{Base: base, Workers: *workers, QueueDepth: *depth})
+	srv := serve.New(serve.Config{Base: base, Workers: *workers, QueueDepth: *depth, Pprof: *pprof})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"timekeeping/pkg/api"
+)
+
+// TestSmoke builds the real tkserve binary, starts it with -pprof, and
+// drives it end to end through the typed pkg/api client: a run, the job
+// listing, /metrics and the pprof mount, then a graceful SIGTERM.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "tkserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building tkserve: %v", err)
+	}
+
+	// Reserve a port; the tiny close-to-bind window is fine for a smoke
+	// test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-pprof", "-workers", "2")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting tkserve: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exited:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			t.Error("tkserve did not exit on SIGTERM")
+		}
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base)
+	cl := api.NewClient(base, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	j, err := cl.Run(ctx, api.RunRequest{Bench: "eon", Warmup: 2000, Refs: 8000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if j.Status != api.StatusDone || j.Result == nil || j.Result.IPC <= 0 {
+		t.Fatalf("run job = %+v", j)
+	}
+
+	jobs, err := cl.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs: err=%v list=%+v", err, jobs)
+	}
+
+	metrics := get(t, base+"/metrics")
+	for _, name := range []string{"tkserve_jobs_done_total", "sim_l1_accesses_total"} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s:\n%s", name, metrics)
+		}
+	}
+
+	if body := get(t, base+"/debug/pprof/cmdline"); !strings.Contains(body, "tkserve") {
+		t.Errorf("pprof cmdline = %q", body)
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("tkserve never became healthy")
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}

@@ -7,6 +7,7 @@
 //	tksim -bench mcf
 //	tksim -bench twolf -victim decay
 //	tksim -bench ammp -prefetch timekeeping
+//	tksim -list                  # print the benchmark suite
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 func main() {
 	var (
+		list     = flag.Bool("list", false, "list benchmark names and exit")
 		bench    = flag.String("bench", "gcc", "benchmark name (see workload.Names)")
 		traceIn  = flag.String("trace", "", "drive the simulation from a saved trace file instead of a workload")
 		victim   = flag.String("victim", "", "victim cache filter: none | collins | decay | adaptive | reload")
@@ -33,6 +35,13 @@ func main() {
 		dropSWPF = flag.Bool("drop-swprefetch", false, "ignore compiler software prefetches")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	opt := sim.Default()
 	vf, err := sim.ParseVictimFilter(*victim)

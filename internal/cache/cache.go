@@ -10,7 +10,11 @@
 // (SimpleScalar's cache module) does.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"timekeeping/internal/obs"
+)
 
 // Config sizes a cache.
 type Config struct {
@@ -43,6 +47,20 @@ func (c Config) Sets() uint64 { return c.Bytes / c.BlockBytes / uint64(c.Ways) }
 
 // Blocks returns the total number of block frames.
 func (c Config) Blocks() uint64 { return c.Bytes / c.BlockBytes }
+
+// Counters are the per-level observability hooks a cache exports into a
+// metrics registry (see internal/obs). Nil fields are valid no-ops, so an
+// uninstrumented cache pays only untaken branches.
+type Counters struct {
+	// Accesses counts every array lookup: demand accesses and prefetch
+	// fills alike.
+	Accesses *obs.Counter
+	Hits     *obs.Counter
+	Misses   *obs.Counter
+	// Writebacks counts dirty evictions (the blocks a real machine would
+	// write back to the next level).
+	Writebacks *obs.Counter
+}
 
 // line is one cache frame.
 type line struct {
@@ -84,6 +102,7 @@ type Cache struct {
 	setMask    uint64
 	lines      []line
 	stamp      uint64
+	ctr        Counters
 }
 
 // New builds a cache from a validated configuration; it panics on an
@@ -107,6 +126,12 @@ func New(cfg Config) *Cache {
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Instrument attaches cumulative counters (typically registered in an
+// obs.Registry) that the cache bumps on every access. The counters are
+// process-lifetime totals, independent of the measurement-window Stats the
+// hierarchy keeps.
+func (c *Cache) Instrument(ctr Counters) { c.ctr = ctr }
 
 // BlockAddr returns addr rounded down to its block boundary.
 func (c *Cache) BlockAddr(addr uint64) uint64 {
@@ -145,6 +170,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	tag := c.Tag(addr)
 	base := int(set) * c.ways
 	c.stamp++
+	c.ctr.Accesses.Inc()
 
 	// Hit?
 	for w := 0; w < c.ways; w++ {
@@ -154,9 +180,11 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			if write {
 				l.dirty = true
 			}
+			c.ctr.Hits.Inc()
 			return Result{Hit: true, Frame: base + w}
 		}
 	}
+	c.ctr.Misses.Inc()
 
 	// Miss: pick victim (an invalid way, else LRU).
 	way := 0
@@ -181,6 +209,9 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			Addr:  (l.tag<<setBits(c.sets) | set) << c.blockShift,
 			Dirty: l.dirty,
 		}
+		if l.dirty {
+			c.ctr.Writebacks.Inc()
+		}
 	}
 	*l = line{tag: tag, valid: true, dirty: write, used: c.stamp}
 	return Result{Hit: false, Frame: base + way, Victim: v}
@@ -197,6 +228,8 @@ func (c *Cache) Fill(addr uint64) Result {
 	for w := 0; w < c.ways; w++ {
 		l := &c.lines[base+w]
 		if l.valid && l.tag == tag {
+			c.ctr.Accesses.Inc()
+			c.ctr.Hits.Inc()
 			return Result{Hit: true, Frame: base + w}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 
+	"timekeeping/internal/obs"
 	"timekeeping/internal/trace"
 )
 
@@ -119,6 +120,10 @@ type Model struct {
 	ring []retireRec
 	head int // next slot to write
 	n    int // entries filled
+
+	// prog, when set, receives reference-count updates on the context-check
+	// cadence (every ctxCheckRefs references). Nil is a valid no-op.
+	prog *obs.Progress
 }
 
 // New builds a core over the given memory system.
@@ -232,10 +237,17 @@ const ctxCheckRefs = 4096
 // ctx is cancelled the model stops between references and returns the
 // snapshot so far alongside ctx's error.
 func (m *Model) RunContext(ctx context.Context, s trace.Stream, maxRefs uint64) (Result, error) {
-	var done uint64
+	var done, reported uint64
+	defer func() {
+		// Flush the sub-cadence remainder so progress lands exactly on the
+		// number of references processed, however the loop exits.
+		m.prog.Add(done - reported)
+	}()
 	var r trace.Ref
 	for done < maxRefs {
 		if done%ctxCheckRefs == 0 {
+			m.prog.Add(done - reported)
+			reported = done
 			if err := ctx.Err(); err != nil {
 				return m.Snapshot(), err
 			}
@@ -255,6 +267,11 @@ func (m *Model) RunContext(ctx context.Context, s trace.Stream, maxRefs uint64) 
 	}
 	return m.Snapshot(), nil
 }
+
+// SetProgress attaches a live progress handle; the model adds the
+// references it completes at the RunContext check cadence. A nil handle
+// detaches.
+func (m *Model) SetProgress(p *obs.Progress) { m.prog = p }
 
 // Snapshot returns the cumulative execution summary without running.
 func (m *Model) Snapshot() Result {

@@ -22,7 +22,30 @@ import (
 	"timekeeping/internal/cache"
 	"timekeeping/internal/classify"
 	"timekeeping/internal/dram"
+	"timekeeping/internal/obs"
 	"timekeeping/internal/trace"
+)
+
+// Process-cumulative observability counters, shared by every Hierarchy in
+// the process and rendered by tkserve's /metrics. They aggregate across
+// runs (warm-up included): they answer "where is this process spending
+// memory-system work", while the per-window Stats answer "what did this
+// measurement interval do".
+var (
+	ctrL1 = cache.Counters{
+		Accesses:   obs.Default.Counter("sim_l1_accesses_total"),
+		Hits:       obs.Default.Counter("sim_l1_hits_total"),
+		Misses:     obs.Default.Counter("sim_l1_misses_total"),
+		Writebacks: obs.Default.Counter("sim_l1_writebacks_total"),
+	}
+	ctrL2 = cache.Counters{
+		Accesses:   obs.Default.Counter("sim_l2_accesses_total"),
+		Hits:       obs.Default.Counter("sim_l2_hits_total"),
+		Misses:     obs.Default.Counter("sim_l2_misses_total"),
+		Writebacks: obs.Default.Counter("sim_l2_writebacks_total"),
+	}
+	ctrPFIssued = obs.Default.Counter("sim_prefetch_issued_total")
+	ctrPFUseful = obs.Default.Counter("sim_prefetch_useful_total")
 )
 
 // Config describes the hierarchy; DefaultConfig matches Table 1.
@@ -156,6 +179,10 @@ type frameState struct {
 	lastAccess uint64
 	loadedAt   uint64
 	hits       uint64
+	// prefetched marks a frame whose current block was installed by a
+	// prefetch and has not yet been hit by a demand access — the pending
+	// half of the "useful prefetch" counter.
+	prefetched bool
 }
 
 // pendingFill is a prefetch whose data is still in flight.
@@ -167,16 +194,19 @@ type pendingFill struct {
 
 // Stats counts hierarchy events over a measurement window.
 type Stats struct {
-	Accesses   uint64
-	Hits       uint64
-	Misses     uint64
-	VictimHits uint64
-	ColdMisses uint64
-	ConflMiss  uint64
-	CapMiss    uint64
-	L2Hits     uint64
-	L2Misses   uint64
-	Prefetches uint64 // prefetch fills issued to L2/memory
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64
+	VictimHits   uint64
+	ColdMisses   uint64
+	ConflMiss    uint64
+	CapMiss      uint64
+	Writebacks   uint64 // dirty L1 victims sent to the L1/L2 bus
+	L2Hits       uint64
+	L2Misses     uint64
+	L2Writebacks uint64 // dirty L2 victims sent to the memory bus
+	Prefetches   uint64 // prefetch fills issued to L2/memory
+	PFUseful     uint64 // prefetched blocks a demand reference went on to use
 }
 
 // MissRate returns misses per access.
@@ -234,6 +264,8 @@ func New(cfg Config) *Hierarchy {
 	if cfg.PrefetchMSHRs > 0 {
 		h.prefetchMSHR = cache.NewMSHRFile(cfg.PrefetchMSHRs)
 	}
+	h.l1.Instrument(ctrL1)
+	h.l2.Instrument(ctrL2)
 	h.frames = make([]frameState, cfg.L1.Blocks())
 	return h
 }
@@ -332,9 +364,16 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 	fs := &h.frames[res.Frame]
 	if res.Hit {
 		fs.hits++
+		if fs.prefetched {
+			// First demand use of a prefetched block: the prefetch paid.
+			fs.prefetched = false
+			h.stats.PFUseful++
+			ctrPFUseful.Inc()
+		}
 	} else {
 		fs.loadedAt = now
 		fs.hits = 0
+		fs.prefetched = false
 	}
 	if now > fs.lastAccess || !res.Hit {
 		fs.lastAccess = now
@@ -391,6 +430,7 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 		}
 		if res.Victim.Dirty {
 			// Write-back occupies the L1/L2 bus.
+			h.stats.Writebacks++
 			h.busL2.Demand(now, h.cfg.L1.BlockBytes)
 		}
 	}
@@ -420,6 +460,7 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 		_, memBusDone := h.busMem.Demand(busDone+h.cfg.L2Lat, h.cfg.L2.BlockBytes)
 		done = h.mem.Access(memBusDone)
 		if l2res.Victim.Valid && l2res.Victim.Dirty {
+			h.stats.L2Writebacks++
 			h.busMem.Demand(done, h.cfg.L2.BlockBytes)
 		}
 	}
@@ -461,6 +502,7 @@ func (h *Hierarchy) issuePrefetches(now uint64) {
 			continue
 		}
 		h.stats.Prefetches++
+		ctrPFIssued.Inc()
 		_, busDone := h.busL2.Prefetch(now, h.cfg.L1.BlockBytes)
 		l2res := h.l2.Fill(req.Block)
 		var done uint64
@@ -526,6 +568,7 @@ func (h *Hierarchy) completePending(i int) {
 		fs.loadedAt = p.arriveAt
 		fs.hits = 0
 		fs.lastAccess = p.arriveAt
+		fs.prefetched = true
 	}
 	if h.prefetcher != nil {
 		var v cache.Victim

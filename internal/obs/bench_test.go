@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+// The benchmarks double as the allocation check on the counter-increment
+// path: run with -benchmem (or rely on ReportAllocs) and expect 0 B/op.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter never moved")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", []float64{1, 10, 100, 1000, 10000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func BenchmarkProgressAdd(b *testing.B) {
+	p := new(Progress)
+	p.Begin(PhaseMeasure, uint64(b.N))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(1)
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total"); again != c {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var p *Progress
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	p.Begin(PhaseWarmup, 10)
+	p.Add(5)
+	p.SetPhase(PhaseDone)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metric reported a value")
+	}
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil progress snapshot = %+v", s)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketsAndRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wall_seconds", []float64{0.5, 1, 2})
+	for _, v := range []float64{0.1, 0.6, 1.5, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 12.2; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`wall_seconds_bucket{le="0.5"} 1`,
+		`wall_seconds_bucket{le="1"} 2`,
+		`wall_seconds_bucket{le="2"} 3`,
+		`wall_seconds_bucket{le="+Inf"} 4`,
+		`wall_seconds_sum 12.2`,
+		`wall_seconds_count 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("rendering missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestFuncAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Func("queued", func() float64 { return 3 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "queued 3\n") {
+		t.Fatalf("func gauge not rendered: %q", b.String())
+	}
+	r.Unregister("queued")
+	if names := r.Names(); len(names) != 0 {
+		t.Fatalf("names after unregister = %v", names)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Counter("a")
+	r.Gauge("c")
+	got := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrency exercises concurrent get-or-create, increments,
+// func churn and rendering under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("level").Set(int64(i))
+				r.Histogram("lat", []float64{1, 10, 100}).Observe(float64(i % 200))
+				if i%100 == 0 {
+					r.Func("fn", func() float64 { return float64(i) })
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != goroutines*iters {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestProgressLifecycle(t *testing.T) {
+	p := new(Progress)
+	if s := p.Snapshot(); s.Phase != PhaseIdle || s.Done != 0 {
+		t.Fatalf("fresh progress = %+v", s)
+	}
+	p.Begin(PhaseWarmup, 1000)
+	p.Add(300)
+	if s := p.Snapshot(); s.Phase != PhaseWarmup || s.Done != 300 || s.Expected != 1000 {
+		t.Fatalf("warmup snapshot = %+v", s)
+	}
+	p.SetPhase(PhaseMeasure)
+	p.Add(700)
+	// A second simulation under the same handle grows Expected.
+	p.Begin(PhaseWarmup, 500)
+	if s := p.Snapshot(); s.Expected != 1500 || s.Done != 1000 {
+		t.Fatalf("second-run snapshot = %+v", s)
+	}
+	p.SetPhase(PhaseDone)
+	time.Sleep(time.Millisecond)
+	s := p.Snapshot()
+	if s.Phase != PhaseDone || s.Elapsed <= 0 || s.RefsPerSec <= 0 {
+		t.Fatalf("final snapshot = %+v", s)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	p := new(Progress)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Begin(PhaseMeasure, 100)
+			for i := 0; i < 100; i++ {
+				p.Add(1)
+				_ = p.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Snapshot(); s.Done != 800 || s.Expected != 800 {
+		t.Fatalf("concurrent progress = %+v", s)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for ph, want := range map[Phase]string{
+		PhaseIdle: "idle", PhaseWarmup: "warmup", PhaseMeasure: "measure", PhaseDone: "done", Phase(99): "idle",
+	} {
+		if got := ph.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", ph, got, want)
+		}
+	}
+}
+
+// TestHotPathAllocationFree is the acceptance gate for instrumenting the
+// simulator's reference loop: metric updates must not allocate.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 10, 100, 1000})
+	p := new(Progress)
+	p.Begin(PhaseMeasure, 1<<20)
+	var nilC *Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		h.Observe(42)
+		p.Add(4096)
+		nilC.Inc()
+	}); n != 0 {
+		t.Fatalf("hot-path metric updates allocate %.1f times per op", n)
+	}
+}

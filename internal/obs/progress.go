@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase is where a run is in its warm-up/measurement lifecycle.
+type Phase uint32
+
+// Run phases. A multi-run job (an experiment sweep) re-enters Warmup and
+// Measure once per simulation; Done is only set when the whole job ends.
+const (
+	PhaseIdle Phase = iota
+	PhaseWarmup
+	PhaseMeasure
+	PhaseDone
+)
+
+// String returns the phase's wire name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseMeasure:
+		return "measure"
+	case PhaseDone:
+		return "done"
+	default:
+		return "idle"
+	}
+}
+
+// Progress is a live view of one run (or one job aggregating many runs):
+// references completed versus expected, the current phase, and the
+// throughput since the first reference. All methods are safe for
+// concurrent use, allocation-free, and valid on a nil receiver, so a
+// simulation with nobody watching pays only an untaken branch.
+//
+// Done only ever increases; Expected grows as new simulations begin under
+// the same handle (an experiment job discovers its runs as it goes), so
+// Done/Expected is monotone per run but Expected itself may step upward
+// mid-job.
+type Progress struct {
+	done     atomic.Uint64
+	expected atomic.Uint64
+	phase    atomic.Uint32
+	startNS  atomic.Int64
+}
+
+// Begin marks the start of one simulation under this handle: it stamps the
+// start time (first Begin wins), adds the simulation's reference budget to
+// Expected, and enters the given phase.
+func (p *Progress) Begin(ph Phase, expected uint64) {
+	if p == nil {
+		return
+	}
+	p.startNS.CompareAndSwap(0, time.Now().UnixNano())
+	p.expected.Add(expected)
+	p.phase.Store(uint32(ph))
+}
+
+// Add records n more completed references.
+func (p *Progress) Add(n uint64) {
+	if p == nil {
+		return
+	}
+	p.done.Add(n)
+}
+
+// SetPhase moves the run to the given phase.
+func (p *Progress) SetPhase(ph Phase) {
+	if p == nil {
+		return
+	}
+	p.phase.Store(uint32(ph))
+}
+
+// Done returns the references completed so far (monotone).
+func (p *Progress) Done() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.done.Load()
+}
+
+// Expected returns the cumulative reference budget of every simulation
+// begun under this handle.
+func (p *Progress) Expected() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.expected.Load()
+}
+
+// ProgressSnapshot is a point-in-time copy of a Progress.
+type ProgressSnapshot struct {
+	Done     uint64
+	Expected uint64
+	Phase    Phase
+	Elapsed  time.Duration // since the first Begin; 0 before it
+	// RefsPerSec is the mean throughput since the first Begin.
+	RefsPerSec float64
+}
+
+// Snapshot returns a consistent-enough point-in-time view (each field is
+// read atomically; fields may be skewed by in-flight updates).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Done:     p.done.Load(),
+		Expected: p.expected.Load(),
+		Phase:    Phase(p.phase.Load()),
+	}
+	if start := p.startNS.Load(); start != 0 {
+		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
+		if s.Elapsed > 0 {
+			s.RefsPerSec = float64(s.Done) / s.Elapsed.Seconds()
+		}
+	}
+	return s
+}

@@ -1,0 +1,317 @@
+// Package obs is the simulator's observability substrate: a
+// dependency-free, allocation-free metrics registry (atomic counters,
+// gauges and bounded histograms, all registered by name) plus the per-run
+// Progress handle the CPU model updates while a simulation executes.
+//
+// Design constraints, in order:
+//
+//   - Zero allocations and no locks on the increment path. Counter.Add,
+//     Gauge.Set and Histogram.Observe are single atomic operations; the
+//     registry lock is only taken to register, unregister or render.
+//   - Nil receivers are valid and do nothing, so instrumented code never
+//     branches on "is anyone watching".
+//   - No dependencies beyond the standard library, so every layer of the
+//     simulator (cache, hier, cpu, sim, serve) can import it.
+//
+// Rendering follows the Prometheus text exposition format ("name value"
+// lines, with the usual _bucket/_sum/_count triplet for histograms), which
+// needs no client library on either side.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a valid no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use;
+// a nil *Gauge is a valid no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the value by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded cumulative histogram over float64 observations.
+// Bucket bounds are fixed at registration; observations beyond the last
+// bound land in the implicit +Inf bucket. The zero value is not usable —
+// histograms come from Registry.Histogram. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bounded linear scan: bucket lists are small (≤ ~20 bounds) and the
+	// scan allocates nothing.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metric is one registered entry.
+type metric struct {
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// Registry is a named set of metrics. Use NewRegistry (or the package
+// Default); the zero value is not ready.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// Default is the process-wide registry. The simulator core (cache, hier)
+// registers its cumulative counters here; tkserve renders it alongside its
+// own per-server registry.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. It panics if name is already registered as a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic(fmt.Sprintf("obs: %q already registered as a non-counter", name))
+		}
+		return m.counter
+	}
+	c := new(Counter)
+	r.metrics[name] = &metric{counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// It panics if name is already registered as a different kind.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.gauge == nil {
+			panic(fmt.Sprintf("obs: %q already registered as a non-gauge", name))
+		}
+		return m.gauge
+	}
+	g := new(Gauge)
+	r.metrics[name] = &metric{gauge: g}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket bounds if needed (bounds are ignored when the
+// histogram already exists). It panics if name is already registered as a
+// different kind, or on unordered bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.hist == nil {
+			panic(fmt.Sprintf("obs: %q already registered as a non-histogram", name))
+		}
+		return m.hist
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: %q: bucket bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.metrics[name] = &metric{hist: h}
+	return h
+}
+
+// Func registers a gauge whose value is computed at render time. An
+// existing func under the same name is replaced; it panics if name is
+// registered as a non-func metric.
+func (r *Registry) Func(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.fn == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a non-func", name))
+	}
+	r.metrics[name] = &metric{fn: fn}
+}
+
+// Unregister removes the named metric (no-op if absent).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.metrics, name)
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot copies the metric table so rendering runs without the registry
+// lock: func gauges may take arbitrary locks of their own, and holding the
+// registry lock across them would impose a global lock order.
+func (r *Registry) snapshot() (names []string, metrics []*metric) {
+	r.mu.Lock()
+	names = make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	metrics = make([]*metric, len(names))
+	for i, name := range names {
+		metrics[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+	return names, metrics
+}
+
+// WritePrometheus renders every metric, sorted by name, in the Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, metrics := r.snapshot()
+	for i, name := range names {
+		m := metrics[i]
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, m.gauge.Value())
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(m.fn()))
+		case m.hist != nil:
+			err = writeHistogram(w, name, m.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum/_count.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// formatFloat renders a float without exponent notation for the common
+// magnitudes metrics take, falling back to %g.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, "eE") {
+		return s
+	}
+	return fmt.Sprintf("%f", v)
+}

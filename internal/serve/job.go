@@ -7,21 +7,8 @@ import (
 	"sync"
 	"time"
 
-	"timekeeping/internal/report"
-	"timekeeping/internal/sim"
-	"timekeeping/internal/simcache"
-)
-
-// Status is a job's lifecycle state.
-type Status string
-
-// Job lifecycle: Queued -> Running -> one of Done / Failed / Canceled.
-const (
-	StatusQueued   Status = "queued"
-	StatusRunning  Status = "running"
-	StatusDone     Status = "done"
-	StatusFailed   Status = "failed"
-	StatusCanceled Status = "canceled"
+	"timekeeping/internal/obs"
+	"timekeeping/pkg/api"
 )
 
 // ErrQueueFull is returned when the bounded job queue cannot accept
@@ -31,30 +18,11 @@ var ErrQueueFull = errors.New("serve: job queue full")
 // ErrDraining is returned for submissions after shutdown has begun.
 var ErrDraining = errors.New("serve: shutting down")
 
-// Job is the externally visible snapshot of one queued simulation or
-// experiment.
-type Job struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`   // "run" or "experiment"
-	Target string `json:"target"` // benchmark or experiment ID
-	Status Status `json:"status"`
-
-	Cache simcache.Outcome `json:"cache,omitempty"` // how a run was satisfied
-
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
-	WallMS      float64    `json:"wall_ms,omitempty"` // running -> finished
-
-	Result *sim.Result     `json:"result,omitempty"` // run jobs
-	Tables []*report.Table `json:"tables,omitempty"` // experiment jobs
-	Error  string          `json:"error,omitempty"`
-}
-
-// job is the manager's mutable record behind a Job snapshot. All fields
-// below ctx are guarded by manager.mu.
+// job is the manager's mutable record behind an api.JobView snapshot. All
+// snap fields are guarded by manager.mu; prog is internally atomic.
 type job struct {
-	snap   Job
+	snap   api.JobView
+	prog   *obs.Progress
 	ctx    context.Context
 	cancel context.CancelFunc
 	run    func(ctx context.Context, j *job) error
@@ -69,6 +37,13 @@ type manager struct {
 	baseCancel context.CancelFunc
 	workers    sync.WaitGroup
 
+	// reg receives the per-job progress gauges while a job lives and the
+	// job wall-time histogram. Registry mutations happen outside mu (the
+	// registry has its own lock; keeping the two disjoint avoids imposing
+	// a lock order on render-time func gauges).
+	reg  *obs.Registry
+	wall *obs.Histogram
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for listing
@@ -79,12 +54,14 @@ type manager struct {
 	nDone, nFailed, nCanceled uint64
 }
 
-func newManager(workers, depth int) *manager {
+func newManager(workers, depth int, reg *obs.Registry) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		queue:      make(chan *job, depth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		reg:        reg,
+		wall:       reg.Histogram("tkserve_job_wall_seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}),
 		jobs:       make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
@@ -104,6 +81,7 @@ func (m *manager) submit(kind, target string, parent context.Context, fn func(co
 	}
 	ctx, cancel := context.WithCancel(parent)
 	j := &job{
+		prog:   new(obs.Progress),
 		ctx:    ctx,
 		cancel: cancel,
 		run:    fn,
@@ -111,30 +89,49 @@ func (m *manager) submit(kind, target string, parent context.Context, fn func(co
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining {
+		m.mu.Unlock()
 		cancel()
 		return nil, ErrDraining
 	}
 	m.seq++
-	j.snap = Job{
+	j.snap = api.JobView{
 		ID:          fmt.Sprintf("j%d", m.seq),
 		Kind:        kind,
 		Target:      target,
-		Status:      StatusQueued,
+		Status:      api.StatusQueued,
 		SubmittedAt: time.Now(),
 	}
+	// Live progress gauges, readable on /metrics while the job runs. They
+	// must be registered before the job is visible to a worker, or a fast
+	// job could finish (and unregister) before registration. Taking the
+	// registry lock under mu is safe: rendering snapshots the registry
+	// first and calls these funcs with no registry lock held.
+	prog := j.prog
+	m.reg.Func(jobGaugeName("refs_done", j.snap), func() float64 { return float64(prog.Done()) })
+	m.reg.Func(jobGaugeName("refs_expected", j.snap), func() float64 { return float64(prog.Expected()) })
 	select {
 	case m.queue <- j:
 	default:
+		// Unregister under mu too: after seq--, the next submit reuses
+		// this ID and must not have its fresh gauges swept away.
+		m.reg.Unregister(jobGaugeName("refs_done", j.snap))
+		m.reg.Unregister(jobGaugeName("refs_expected", j.snap))
 		m.seq--
+		m.mu.Unlock()
 		cancel()
 		return nil, ErrQueueFull
 	}
 	m.jobs[j.snap.ID] = j
 	m.order = append(m.order, j.snap.ID)
 	m.queued++
+	m.mu.Unlock()
 	return j, nil
+}
+
+// jobGaugeName renders a per-job metric name with id/target labels.
+func jobGaugeName(field string, snap api.JobView) string {
+	return fmt.Sprintf("tkserve_job_%s{id=%q,target=%q}", field, snap.ID, snap.Target)
 }
 
 func (m *manager) worker() {
@@ -144,7 +141,7 @@ func (m *manager) worker() {
 		m.queued--
 		m.running++
 		now := time.Now()
-		j.snap.Status = StatusRunning
+		j.snap.Status = api.StatusRunning
 		j.snap.StartedAt = &now
 		m.mu.Unlock()
 
@@ -158,18 +155,27 @@ func (m *manager) worker() {
 		j.snap.WallMS = float64(fin.Sub(*j.snap.StartedAt)) / float64(time.Millisecond)
 		switch {
 		case err == nil:
-			j.snap.Status = StatusDone
+			j.snap.Status = api.StatusDone
 			m.nDone++
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			j.snap.Status = StatusCanceled
+			j.snap.Status = api.StatusCanceled
 			j.snap.Error = err.Error()
 			m.nCanceled++
 		default:
-			j.snap.Status = StatusFailed
+			j.snap.Status = api.StatusFailed
 			j.snap.Error = err.Error()
 			m.nFailed++
 		}
+		snap := j.snap
 		m.mu.Unlock()
+
+		if err == nil {
+			j.prog.SetPhase(obs.PhaseDone)
+		}
+		m.wall.Observe(snap.WallMS / 1000)
+		// The live gauges end with the run; history stays in the job table.
+		m.reg.Unregister(jobGaugeName("refs_done", snap))
+		m.reg.Unregister(jobGaugeName("refs_expected", snap))
 		close(j.done)
 	}
 }
@@ -191,46 +197,69 @@ func (m *manager) exec(j *job) (err error) {
 }
 
 // update mutates a job's snapshot under the manager lock.
-func (m *manager) update(j *job, fn func(*Job)) {
+func (m *manager) update(j *job, fn func(*api.JobView)) {
 	m.mu.Lock()
 	fn(&j.snap)
 	m.mu.Unlock()
 }
 
-// get returns a snapshot of the job with the given ID.
-func (m *manager) get(id string) (Job, bool) {
+// lookup returns the live job record for id.
+func (m *manager) lookup(id string) (*job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
-		return Job{}, false
+	return j, ok
+}
+
+// snapshot returns a copy of the job's snapshot with the live progress
+// attached.
+func (m *manager) snapshot(j *job) api.JobView {
+	m.mu.Lock()
+	snap := j.snap
+	m.mu.Unlock()
+	ps := j.prog.Snapshot()
+	snap.Progress = &api.Progress{
+		Phase:        ps.Phase.String(),
+		RefsDone:     ps.Done,
+		RefsExpected: ps.Expected,
+		RefsPerSec:   ps.RefsPerSec,
 	}
-	return j.snap, true
+	return snap
+}
+
+// get returns a snapshot of the job with the given ID.
+func (m *manager) get(id string) (api.JobView, bool) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return api.JobView{}, false
+	}
+	return m.snapshot(j), true
 }
 
 // list returns snapshots of every job in submission order.
-func (m *manager) list() []Job {
+func (m *manager) list() []api.JobView {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Job, 0, len(m.order))
+	jobs := make([]*job, 0, len(m.order))
 	for _, id := range m.order {
-		out = append(out, m.jobs[id].snap)
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]api.JobView, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, m.snapshot(j))
 	}
 	return out
 }
 
 // cancelJob cancels the job's context; a queued or running job then
 // finishes as canceled.
-func (m *manager) cancelJob(id string) (Job, bool) {
-	m.mu.Lock()
-	j, ok := m.jobs[id]
-	m.mu.Unlock()
+func (m *manager) cancelJob(id string) (api.JobView, bool) {
+	j, ok := m.lookup(id)
 	if !ok {
-		return Job{}, false
+		return api.JobView{}, false
 	}
 	j.cancel()
-	snap, _ := m.get(id)
-	return snap, true
+	return m.snapshot(j), true
 }
 
 // counters returns the queue gauges and lifecycle totals.

@@ -1,38 +1,62 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
 	"time"
+
+	"timekeeping/internal/obs"
 )
 
-// handleMetrics renders the service's operational counters in the
-// Prometheus text exposition format (no client library needed — the
-// format is lines of "name value").
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	queued, running, done, failed, canceled := s.mgr.counters()
-	cs := s.cache.Stats()
+// registerMetrics wires the service's operational counters into the
+// server's obs registry as func gauges, preserving the metric names the
+// original hand-rendered /metrics exposed. Values are read at render
+// time, so /metrics is always current with no bookkeeping on the job or
+// cache paths.
+func (s *Server) registerMetrics() {
+	mgr, cache := s.mgr, s.cache
+	s.reg.Func("tkserve_jobs_queued", func() float64 {
+		q, _, _, _, _ := mgr.counters()
+		return float64(q)
+	})
+	s.reg.Func("tkserve_jobs_running", func() float64 {
+		_, r, _, _, _ := mgr.counters()
+		return float64(r)
+	})
+	s.reg.Func("tkserve_jobs_done_total", func() float64 {
+		_, _, d, _, _ := mgr.counters()
+		return float64(d)
+	})
+	s.reg.Func("tkserve_jobs_failed_total", func() float64 {
+		_, _, _, f, _ := mgr.counters()
+		return float64(f)
+	})
+	s.reg.Func("tkserve_jobs_canceled_total", func() float64 {
+		_, _, _, _, c := mgr.counters()
+		return float64(c)
+	})
+	s.reg.Func("tkserve_cache_entries", func() float64 { return float64(cache.Stats().Entries) })
+	s.reg.Func("tkserve_cache_inflight", func() float64 { return float64(cache.Stats().Inflight) })
+	s.reg.Func("tkserve_cache_hits_total", func() float64 { return float64(cache.Stats().Hits) })
+	s.reg.Func("tkserve_cache_misses_total", func() float64 { return float64(cache.Stats().Misses) })
+	s.reg.Func("tkserve_cache_joined_total", func() float64 { return float64(cache.Stats().Joined) })
+	s.reg.Func("tkserve_sim_runs_total", func() float64 { return float64(cache.Stats().Runs) })
+	s.reg.Func("tkserve_sim_refs_total", func() float64 { return float64(cache.Stats().Refs) })
+	s.reg.Func("tkserve_sim_wall_seconds_total", func() float64 { return cache.Stats().Wall.Seconds() })
+	s.reg.Func("tkserve_sim_wall_seconds_avg", func() float64 {
+		cs := cache.Stats()
+		if cs.Runs == 0 {
+			return 0
+		}
+		return (cs.Wall / time.Duration(cs.Runs)).Seconds()
+	})
+}
 
+// handleMetrics renders the process-wide simulator registry (obs.Default:
+// per-level cache counters, prefetch counters) followed by this server's
+// own registry (job/cache/sim service metrics, per-job progress gauges,
+// the job wall-time histogram) in the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	put := func(name string, value any) {
-		fmt.Fprintf(w, "tkserve_%s %v\n", name, value)
-	}
-	put("jobs_queued", queued)
-	put("jobs_running", running)
-	put("jobs_done_total", done)
-	put("jobs_failed_total", failed)
-	put("jobs_canceled_total", canceled)
-	put("cache_entries", cs.Entries)
-	put("cache_inflight", cs.Inflight)
-	put("cache_hits_total", cs.Hits)
-	put("cache_misses_total", cs.Misses)
-	put("cache_joined_total", cs.Joined)
-	put("sim_runs_total", cs.Runs)
-	put("sim_refs_total", cs.Refs)
-	put("sim_wall_seconds_total", cs.Wall.Seconds())
-	if cs.Runs > 0 {
-		put("sim_wall_seconds_avg", (cs.Wall / time.Duration(cs.Runs)).Seconds())
-	} else {
-		put("sim_wall_seconds_avg", 0)
-	}
+	obs.Default.WritePrometheus(w)
+	s.reg.WritePrometheus(w)
 }

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"timekeeping/pkg/api"
+)
+
+// watch collects a job's whole progress stream through the typed client.
+func watch(t *testing.T, cl *api.Client, id string) []api.ProgressEvent {
+	t.Helper()
+	var events []api.ProgressEvent
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err := cl.WatchProgress(ctx, id, func(ev api.ProgressEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WatchProgress(%s): %v", id, err)
+	}
+	return events
+}
+
+// checkMonotone verifies the stream's core invariants: at least two
+// snapshots, RefsDone never decreasing, exactly one terminal event and it
+// is last.
+func checkMonotone(t *testing.T, events []api.ProgressEvent) {
+	t.Helper()
+	if len(events) < 2 {
+		t.Fatalf("got %d progress events, want >= 2: %+v", len(events), events)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].RefsDone < events[i-1].RefsDone {
+			t.Fatalf("RefsDone regressed at event %d: %d -> %d", i, events[i-1].RefsDone, events[i].RefsDone)
+		}
+	}
+	for i, ev := range events {
+		if ev.Terminal != (i == len(events)-1) {
+			t.Fatalf("event %d terminal=%v in a %d-event stream", i, ev.Terminal, len(events))
+		}
+	}
+}
+
+func TestProgressStreamCompletion(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	cl.ProgressInterval = 10 * time.Millisecond
+
+	const warmup, refs = 100_000, 8_000_000
+	j, err := cl.RunAsync(context.Background(), api.RunRequest{Bench: "mcf", Warmup: warmup, Refs: refs})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	events := watch(t, cl, j.ID)
+	checkMonotone(t, events)
+
+	last := events[len(events)-1]
+	if last.Status != api.StatusDone || last.Phase != "done" {
+		t.Fatalf("terminal event = %+v", last)
+	}
+	if last.RefsDone != warmup+refs || last.RefsExpected != warmup+refs {
+		t.Fatalf("terminal refs = %d/%d, want %d/%d", last.RefsDone, last.RefsExpected, warmup+refs, warmup+refs)
+	}
+	// The stream saw the run in flight, not only its endpoints.
+	var midflight bool
+	for _, ev := range events[:len(events)-1] {
+		if ev.RefsDone > 0 && ev.RefsDone < warmup+refs {
+			midflight = true
+		}
+	}
+	if !midflight {
+		t.Fatalf("no mid-flight snapshot in %d events", len(events))
+	}
+}
+
+func TestProgressStreamCancel(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{})
+	cl.ProgressInterval = 10 * time.Millisecond
+
+	j, err := cl.RunAsync(context.Background(), foreverRun)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done := make(chan []api.ProgressEvent, 1)
+	go func() {
+		var events []api.ProgressEvent
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = cl.WatchProgress(ctx, j.ID, func(ev api.ProgressEvent) error {
+			events = append(events, ev)
+			return nil
+		})
+		done <- events
+	}()
+
+	waitMetric(t, ts, "tkserve_jobs_running", 1)
+	if _, err := cl.CancelJob(context.Background(), j.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	events := <-done
+	checkMonotone(t, events)
+	last := events[len(events)-1]
+	if last.Status != api.StatusCanceled {
+		t.Fatalf("terminal event after cancel = %+v", last)
+	}
+}
+
+func TestProgressUnknownJob(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	err := cl.WatchProgress(context.Background(), "j999", func(api.ProgressEvent) error { return nil })
+	if ae := apiError(t, err); ae.Code != api.CodeNotFound {
+		t.Fatalf("unknown job watch error = %+v", ae)
+	}
+}
+
+// TestMetricsNames is the golden-name check: every stable metric the
+// service promises must appear on /metrics, including the simulator's
+// per-level counters (obs.Default) and, while a job runs, its labelled
+// progress gauges.
+func TestMetricsNames(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{})
+
+	j, err := cl.RunAsync(context.Background(), foreverRun)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitMetric(t, ts, "tkserve_jobs_running", 1)
+
+	m := scrape(t, ts)
+	golden := []string{
+		// simulator core (process-wide registry)
+		"sim_l1_accesses_total",
+		"sim_l1_hits_total",
+		"sim_l1_misses_total",
+		"sim_l1_writebacks_total",
+		"sim_l2_accesses_total",
+		"sim_l2_hits_total",
+		"sim_l2_misses_total",
+		"sim_l2_writebacks_total",
+		"sim_prefetch_issued_total",
+		"sim_prefetch_useful_total",
+		// service (per-server registry)
+		"tkserve_jobs_queued",
+		"tkserve_jobs_running",
+		"tkserve_jobs_done_total",
+		"tkserve_jobs_failed_total",
+		"tkserve_jobs_canceled_total",
+		"tkserve_cache_entries",
+		"tkserve_cache_inflight",
+		"tkserve_cache_hits_total",
+		"tkserve_cache_misses_total",
+		"tkserve_cache_joined_total",
+		"tkserve_sim_runs_total",
+		"tkserve_sim_refs_total",
+		"tkserve_sim_wall_seconds_total",
+		"tkserve_sim_wall_seconds_avg",
+		// job wall-time histogram
+		"tkserve_job_wall_seconds_sum",
+		"tkserve_job_wall_seconds_count",
+		// this job's live progress gauges
+		fmt.Sprintf("tkserve_job_refs_done{id=%q,target=%q}", j.ID, "mcf"),
+		fmt.Sprintf("tkserve_job_refs_expected{id=%q,target=%q}", j.ID, "mcf"),
+	}
+	for _, name := range golden {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %q missing from /metrics", name)
+		}
+	}
+
+	if _, err := cl.CancelJob(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, ts, "tkserve_jobs_running", 0)
+	// The per-job gauges end with the job.
+	m = scrape(t, ts)
+	if _, ok := m[fmt.Sprintf("tkserve_job_refs_done{id=%q,target=%q}", j.ID, "mcf")]; ok {
+		t.Errorf("per-job gauge outlived job %s", j.ID)
+	}
+}

@@ -5,15 +5,21 @@
 // once. Client disconnects and deadlines cancel in-flight simulations at
 // reference-loop granularity.
 //
+// The wire contract — request/response types, the error envelope with its
+// stable codes, and the progress-event stream — lives in pkg/api, which
+// also provides the typed client; this package is the implementation.
+//
 // Endpoints:
 //
-//	POST   /v1/run               run one simulation (async with "async":true)
-//	POST   /v1/experiments/{id}  regenerate a paper figure/table/ablation
-//	GET    /v1/jobs              list jobs
-//	GET    /v1/jobs/{id}         job status + result
-//	DELETE /v1/jobs/{id}         cancel a job
-//	GET    /healthz              liveness
-//	GET    /metrics              Prometheus-style text metrics
+//	POST   /v1/run                   run one simulation (async with "async":true)
+//	POST   /v1/experiments/{id}      regenerate a paper figure/table/ablation
+//	GET    /v1/jobs                  list jobs
+//	GET    /v1/jobs/{id}             job status + result
+//	GET    /v1/jobs/{id}/progress    SSE stream of progress snapshots
+//	DELETE /v1/jobs/{id}             cancel a job
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus-style text metrics (obs registry)
+//	GET    /debug/pprof/*            profiling (only with Config.Pprof)
 package serve
 
 import (
@@ -22,12 +28,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 
 	"timekeeping/internal/experiments"
+	"timekeeping/internal/obs"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
 	"timekeeping/internal/workload"
+	"timekeeping/pkg/api"
 )
 
 // Config sizes the service.
@@ -42,12 +51,15 @@ type Config struct {
 	QueueDepth int
 	// Cache is the shared result store (nil: simcache.Default).
 	Cache *simcache.Store
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
 }
 
 // Server is one tkserve instance. Create with New; serve s.Handler().
 type Server struct {
 	base  sim.Options
 	cache *simcache.Store
+	reg   *obs.Registry
 	mgr   *manager
 	mux   *http.ServeMux
 }
@@ -66,11 +78,14 @@ func New(cfg Config) *Server {
 	if cfg.Base == (sim.Options{}) {
 		cfg.Base = sim.Default()
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		base:  cfg.Base,
 		cache: cfg.Cache,
-		mgr:   newManager(cfg.Workers, cfg.QueueDepth),
+		reg:   reg,
+		mgr:   newManager(cfg.Workers, cfg.QueueDepth, reg),
 	}
+	s.registerMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -78,47 +93,40 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Registry returns the server's metrics registry (service-level metrics;
+// the simulator core's cumulative counters live in obs.Default).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // Shutdown stops intake and drains the job queue; jobs still unfinished
 // when ctx expires are cancelled. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.shutdown(ctx) }
 
-// RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
-// server's base options.
-type RunRequest struct {
-	Bench          string `json:"bench"`
-	Victim         string `json:"victim"`
-	VictimEntries  int    `json:"victim_entries"`
-	Prefetch       string `json:"prefetch"`
-	Perfect        bool   `json:"perfect"`
-	Track          bool   `json:"track"`
-	DropSWPrefetch bool   `json:"drop_sw_prefetch"`
-	Warmup         uint64 `json:"warmup"`
-	Refs           uint64 `json:"refs"`
-	Seed           uint64 `json:"seed"`
-	// Async detaches the job from the request: the response is an
-	// immediate 202 with the job ID, polled via GET /v1/jobs/{id}.
-	// Synchronous requests block until the job finishes, and a client
-	// disconnect cancels the simulation.
-	Async bool `json:"async"`
-}
-
 // options resolves the request against the server's base configuration.
-func (s *Server) options(req RunRequest) (sim.Options, error) {
+// The *api.Error return carries the stable code and accepted-values list.
+func (s *Server) options(req api.RunRequest) (sim.Options, *api.Error) {
 	opt := s.base
 	vf, err := sim.ParseVictimFilter(req.Victim)
 	if err != nil {
-		return sim.Options{}, err
+		return sim.Options{}, filterError(err)
 	}
 	pf, err := sim.ParsePrefetcher(req.Prefetch)
 	if err != nil {
-		return sim.Options{}, err
+		return sim.Options{}, filterError(err)
 	}
 	opt.VictimFilter = vf
 	opt.Prefetcher = pf
@@ -140,32 +148,47 @@ func (s *Server) options(req RunRequest) (sim.Options, error) {
 	return opt, nil
 }
 
+// filterError maps a sim parse error onto the wire error, preserving the
+// accepted-values list.
+func filterError(err error) *api.Error {
+	var uv *sim.UnknownValueError
+	if errors.As(err, &uv) {
+		return &api.Error{Code: api.CodeUnknownFilter, Message: err.Error(), Accepted: uv.Accepted}
+	}
+	return &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
+	var req api.RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeError(w, http.StatusBadRequest, &api.Error{
+			Code: api.CodeBadRequest, Message: fmt.Sprintf("decoding request: %v", err),
+		})
 		return
 	}
 	spec, err := workload.Profile(req.Bench)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%w (known: %v)", err, workload.Names()))
+		writeError(w, http.StatusBadRequest, &api.Error{
+			Code: api.CodeUnknownBench, Message: err.Error(), Accepted: workload.Names(),
+		})
 		return
 	}
-	opt, err := s.options(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	opt, aerr := s.options(req)
+	if aerr != nil {
+		writeError(w, http.StatusBadRequest, aerr)
 		return
 	}
 
 	key := simcache.Key(spec.Name, opt)
 	fn := func(ctx context.Context, j *job) error {
+		opt.Progress = j.prog
 		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
 			return sim.RunContext(ctx, spec, opt)
 		})
-		s.mgr.update(j, func(snap *Job) {
-			snap.Cache = outcome
+		s.mgr.update(j, func(snap *api.JobView) {
+			snap.Cache = string(outcome)
 			if err == nil {
-				snap.Result = &res
+				snap.Result = resultView(&res)
 			}
 		})
 		return err
@@ -173,33 +196,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.dispatch(w, r, "run", spec.Name, req.Async, fn)
 }
 
-// ExperimentRequest is the body of POST /v1/experiments/{id}. All fields
-// are optional.
-type ExperimentRequest struct {
-	Benches []string `json:"benches"`
-	Warmup  uint64   `json:"warmup"`
-	Refs    uint64   `json:"refs"`
-	Seed    uint64   `json:"seed"`
-	Async   bool     `json:"async"`
-}
-
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	exp, err := experiments.ByID(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, &api.Error{Code: api.CodeNotFound, Message: err.Error()})
 		return
 	}
-	req := ExperimentRequest{}
+	req := api.ExperimentRequest{}
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			writeError(w, http.StatusBadRequest, &api.Error{
+				Code: api.CodeBadRequest, Message: fmt.Sprintf("decoding request: %v", err),
+			})
 			return
 		}
 	}
 	for _, b := range req.Benches {
 		if _, err := workload.Profile(b); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, &api.Error{
+				Code: api.CodeUnknownBench, Message: err.Error(), Accepted: workload.Names(),
+			})
 			return
 		}
 	}
@@ -208,6 +225,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rn := experiments.NewRunner()
 		rn.Cache = s.cache
 		rn.Ctx = ctx
+		rn.Opts.Progress = j.prog
 		if req.Warmup > 0 {
 			rn.Opts.WarmupRefs = req.Warmup
 		}
@@ -221,7 +239,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			rn.Benches = req.Benches
 		}
 		tables := exp.Run(rn)
-		s.mgr.update(j, func(snap *Job) { snap.Tables = tables })
+		s.mgr.update(j, func(snap *api.JobView) { snap.Tables = tableViews(tables) })
 		return nil
 	}
 	s.dispatch(w, r, "experiment", id, req.Async, fn)
@@ -237,27 +255,35 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target s
 	}
 	j, err := s.mgr.submit(kind, target, parent, fn)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, &api.Error{Code: api.CodeQueueFull, Message: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, &api.Error{Code: api.CodeDraining, Message: err.Error()})
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, &api.Error{Code: api.CodeInternal, Message: err.Error()})
 		return
 	}
 	if async {
-		snap, _ := s.mgr.get(j.snap.ID)
-		writeJSON(w, http.StatusAccepted, snap)
+		writeJSON(w, http.StatusAccepted, s.mgr.snapshot(j))
 		return
 	}
 	<-j.done
-	snap, _ := s.mgr.get(j.snap.ID)
+	snap := s.mgr.snapshot(j)
 	switch snap.Status {
-	case StatusDone:
+	case api.StatusDone:
 		writeJSON(w, http.StatusOK, snap)
-	case StatusCanceled:
-		writeJSON(w, http.StatusServiceUnavailable, snap)
+	case api.StatusCanceled:
+		writeError(w, http.StatusServiceUnavailable, &api.Error{
+			Code:    api.CodeCanceled,
+			Message: fmt.Sprintf("job %s canceled: %s", snap.ID, snap.Error),
+		})
 	default:
-		writeJSON(w, http.StatusInternalServerError, snap)
+		writeError(w, http.StatusInternalServerError, &api.Error{
+			Code:    api.CodeInternal,
+			Message: fmt.Sprintf("job %s failed: %s", snap.ID, snap.Error),
+		})
 	}
 }
 
@@ -268,7 +294,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, unknownJob(r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -277,7 +303,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.mgr.cancelJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, unknownJob(r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -288,6 +314,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+func unknownJob(id string) *api.Error {
+	return &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("serve: unknown job %q", id)}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -296,6 +326,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // a gone client is the only failure
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError sends the structured error envelope every non-2xx response
+// carries.
+func writeError(w http.ResponseWriter, code int, e *api.Error) {
+	writeJSON(w, code, api.ErrorEnvelope{Err: e})
 }

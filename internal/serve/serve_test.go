@@ -3,27 +3,28 @@ package serve
 import (
 	"bufio"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"timekeeping/internal/simcache"
+	"timekeeping/pkg/api"
 )
 
 // fastRun is a request that simulates in milliseconds.
-const fastRun = `{"bench":"eon","warmup":2000,"refs":8000}`
+var fastRun = api.RunRequest{Bench: "eon", Warmup: 2000, Refs: 8000}
 
 // foreverRun would simulate for hours; only cancellation ends it.
-const foreverRun = `{"bench":"mcf","warmup":1000,"refs":4000000000}`
+var foreverRun = api.RunRequest{Bench: "mcf", Warmup: 1000, Refs: 4_000_000_000}
 
 // newTestServer starts a service with an isolated cache so metric
-// assertions see only this test's traffic.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// assertions see only this test's traffic, and returns the typed client
+// every test talks through.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *api.Client) {
 	t.Helper()
 	if cfg.Cache == nil {
 		cfg.Cache = simcache.New()
@@ -36,37 +37,18 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		defer cancel()
 		s.Shutdown(ctx)
 	})
-	return s, ts
+	return s, ts, api.NewClient(ts.URL, ts.Client())
 }
 
-// post sends a JSON body and decodes the response, which is a job
-// snapshot on success and {"error": ...} otherwise (both land in Job).
-func post(t *testing.T, ts *httptest.Server, path, body string) (int, Job) {
+// apiError unwraps err into the structured wire error, failing the test
+// when the client returned anything else.
+func apiError(t *testing.T, err error) *api.Error {
 	t.Helper()
-	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatalf("POST %s: %v", path, err)
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is %T (%v), want *api.Error", err, err)
 	}
-	defer resp.Body.Close()
-	var j Job
-	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
-		t.Fatalf("POST %s: decoding response: %v", path, err)
-	}
-	return resp.StatusCode, j
-}
-
-func getJob(t *testing.T, ts *httptest.Server, id string) (int, Job) {
-	t.Helper()
-	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var j Job
-	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, j
+	return ae
 }
 
 // scrape parses /metrics into name -> value.
@@ -103,7 +85,7 @@ func waitMetric(t *testing.T, ts *httptest.Server, name string, want float64) {
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, _ := newTestServer(t, Config{})
 	resp, err := ts.Client().Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -115,29 +97,35 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestColdRunThenCacheHit(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, cl := newTestServer(t, Config{})
 
-	code, j := post(t, ts, "/v1/run", fastRun)
-	if code != http.StatusOK || j.Status != StatusDone {
-		t.Fatalf("cold run: code=%d job=%+v", code, j)
+	j, err := cl.Run(context.Background(), fastRun)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
 	}
-	if j.Cache != simcache.Miss {
-		t.Fatalf("cold run cache outcome = %q, want miss", j.Cache)
+	if j.Status != api.StatusDone || j.Cache != api.CacheMiss {
+		t.Fatalf("cold run: %+v", j)
 	}
-	if j.Result == nil || j.Result.CPU.IPC <= 0 {
+	if j.Result == nil || j.Result.IPC <= 0 {
 		t.Fatalf("cold run has no result: %+v", j.Result)
+	}
+	if j.Result.L1.Accesses == 0 || j.Result.L1.Misses == 0 {
+		t.Fatalf("cold run missing L1 stats: %+v", j.Result.L1)
 	}
 	m := scrape(t, ts)
 	if m["tkserve_cache_misses_total"] != 1 || m["tkserve_sim_runs_total"] != 1 {
 		t.Fatalf("after cold run: %v", m)
 	}
 
-	code, j2 := post(t, ts, "/v1/run", fastRun)
-	if code != http.StatusOK || j2.Cache != simcache.Hit {
-		t.Fatalf("re-run: code=%d cache=%q", code, j2.Cache)
+	j2, err := cl.Run(context.Background(), fastRun)
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
 	}
-	if j2.Result.CPU.IPC != j.Result.CPU.IPC {
-		t.Fatalf("cached IPC %v != original %v", j2.Result.CPU.IPC, j.Result.CPU.IPC)
+	if j2.Cache != api.CacheHit {
+		t.Fatalf("re-run cache = %q, want hit", j2.Cache)
+	}
+	if j2.Result.IPC != j.Result.IPC {
+		t.Fatalf("cached IPC %v != original %v", j2.Result.IPC, j.Result.IPC)
 	}
 	m = scrape(t, ts)
 	// The hit counter moved; the miss/run counters did not — the second
@@ -151,22 +139,22 @@ func TestColdRunThenCacheHit(t *testing.T) {
 }
 
 func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 8})
+	_, ts, cl := newTestServer(t, Config{Workers: 8})
 
 	const n = 6
-	body := `{"bench":"twolf","warmup":2000,"refs":8000}`
+	req := api.RunRequest{Bench: "twolf", Warmup: 2000, Refs: 8000}
 	var wg sync.WaitGroup
 	ipcs := make([]float64, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			code, j := post(t, ts, "/v1/run", body)
-			if code != http.StatusOK || j.Result == nil {
-				t.Errorf("request %d: code=%d job=%+v", i, code, j)
+			j, err := cl.Run(context.Background(), req)
+			if err != nil || j.Result == nil {
+				t.Errorf("request %d: err=%v job=%+v", i, err, j)
 				return
 			}
-			ipcs[i] = j.Result.CPU.IPC
+			ipcs[i] = j.Result.IPC
 		}(i)
 	}
 	wg.Wait()
@@ -187,19 +175,12 @@ func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
 }
 
 func TestClientDisconnectCancelsRun(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, cl := newTestServer(t, Config{})
 
 	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(foreverRun))
-	if err != nil {
-		t.Fatal(err)
-	}
 	errCh := make(chan error, 1)
 	go func() {
-		resp, err := ts.Client().Do(req)
-		if err == nil {
-			resp.Body.Close()
-		}
+		_, err := cl.Run(ctx, foreverRun)
 		errCh <- err
 	}()
 
@@ -221,48 +202,59 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 }
 
 func TestAsyncJobLifecycleAndCancel(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, cl := newTestServer(t, Config{})
 
-	body := `{"bench":"mcf","warmup":1000,"refs":4000000000,"async":true}`
-	code, j := post(t, ts, "/v1/run", body)
-	if code != http.StatusAccepted || j.ID == "" {
-		t.Fatalf("async submit: code=%d job=%+v", code, j)
+	j, err := cl.RunAsync(context.Background(), foreverRun)
+	if err != nil || j.ID == "" {
+		t.Fatalf("async submit: err=%v job=%+v", err, j)
 	}
 	waitMetric(t, ts, "tkserve_jobs_running", 1)
-	if code, snap := getJob(t, ts, j.ID); code != http.StatusOK || snap.Status != StatusRunning {
-		t.Fatalf("job status: code=%d snap=%+v", code, snap)
+	snap, err := cl.Job(context.Background(), j.ID)
+	if err != nil || snap.Status != api.StatusRunning {
+		t.Fatalf("job status: err=%v snap=%+v", err, snap)
 	}
 
-	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j.ID, nil)
-	if err != nil {
-		t.Fatal(err)
+	if _, err := cl.CancelJob(context.Background(), j.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
-	resp, err := ts.Client().Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel = %d", resp.StatusCode)
-	}
-
 	waitMetric(t, ts, "tkserve_jobs_canceled_total", 1)
-	if _, snap := getJob(t, ts, j.ID); snap.Status != StatusCanceled {
+	if snap, _ := cl.Job(context.Background(), j.ID); snap.Status != api.StatusCanceled {
 		t.Fatalf("job after cancel: %+v", snap)
 	}
 
-	if code, _ := getJob(t, ts, "j999"); code != http.StatusNotFound {
-		t.Fatalf("unknown job = %d", code)
+	_, err = cl.Job(context.Background(), "j999")
+	if ae := apiError(t, err); ae.Code != api.CodeNotFound || ae.HTTPStatus != http.StatusNotFound {
+		t.Fatalf("unknown job error = %+v", ae)
+	}
+}
+
+func TestJobsListing(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	if _, err := cl.Run(context.Background(), fastRun); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := cl.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Kind != "run" || jobs[0].Target != "eon" {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	if jobs[0].Progress == nil || jobs[0].Progress.Phase != "done" {
+		t.Fatalf("finished job progress = %+v", jobs[0].Progress)
 	}
 }
 
 func TestExperimentEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts, cl := newTestServer(t, Config{})
 
-	body := `{"benches":["twolf","ammp"],"warmup":2000,"refs":8000}`
-	code, j := post(t, ts, "/v1/experiments/fig2", body)
-	if code != http.StatusOK || j.Status != StatusDone {
-		t.Fatalf("experiment: code=%d job=%+v", code, j)
+	req := api.ExperimentRequest{Benches: []string{"twolf", "ammp"}, Warmup: 2000, Refs: 8000}
+	j, err := cl.Experiment(context.Background(), "fig2", req)
+	if err != nil {
+		t.Fatalf("experiment: %v", err)
+	}
+	if j.Status != api.StatusDone {
+		t.Fatalf("experiment: %+v", j)
 	}
 	if len(j.Tables) == 0 || len(j.Tables[0].Rows) != 2 {
 		t.Fatalf("experiment tables: %+v", j.Tables)
@@ -272,72 +264,99 @@ func TestExperimentEndpoint(t *testing.T) {
 		t.Fatalf("experiment simulations: %v", m)
 	}
 
-	if code, _ := post(t, ts, "/v1/experiments/nope", "{}"); code != http.StatusNotFound {
-		t.Fatalf("unknown experiment = %d", code)
+	_, err = cl.Experiment(context.Background(), "nope", api.ExperimentRequest{})
+	if ae := apiError(t, err); ae.Code != api.CodeNotFound {
+		t.Fatalf("unknown experiment error = %+v", ae)
 	}
 }
 
-func TestRequestValidation(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	cases := []string{
-		`{"bench":"not-a-bench"}`,
-		`{"bench":"eon","victim":"decai"}`,
-		`{"bench":"eon","prefetch":"timekeepin"}`,
-		`not json`,
+// TestErrorEnvelopeCodes exercises each validation failure and checks the
+// structured envelope: stable code, HTTP status, and the accepted-values
+// list for unknown names.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{})
+
+	cases := []struct {
+		name string
+		req  api.RunRequest
+		code api.ErrorCode
+		want []string // substrings that must appear in Accepted
+	}{
+		{"unknown bench", api.RunRequest{Bench: "not-a-bench"}, api.CodeUnknownBench, []string{"eon", "mcf"}},
+		{"unknown victim", api.RunRequest{Bench: "eon", Victim: "decai"}, api.CodeUnknownFilter, []string{"decay", "collins"}},
+		{"unknown prefetcher", api.RunRequest{Bench: "eon", Prefetch: "timekeepin"}, api.CodeUnknownFilter, []string{"timekeeping", "dbcp"}},
 	}
-	for _, body := range cases {
-		if code, j := post(t, ts, "/v1/run", body); code != http.StatusBadRequest || j.Error == "" {
-			t.Errorf("body %q: code=%d error=%q", body, code, j.Error)
+	for _, tc := range cases {
+		_, err := cl.Run(context.Background(), tc.req)
+		ae := apiError(t, err)
+		if ae.Code != tc.code || ae.HTTPStatus != http.StatusBadRequest {
+			t.Errorf("%s: got code=%q status=%d, want %q/400", tc.name, ae.Code, ae.HTTPStatus, tc.code)
+		}
+		accepted := make(map[string]bool, len(ae.Accepted))
+		for _, a := range ae.Accepted {
+			accepted[a] = true
+		}
+		for _, want := range tc.want {
+			if !accepted[want] {
+				t.Errorf("%s: accepted list %v missing %q", tc.name, ae.Accepted, want)
+			}
 		}
 	}
+
+	// Malformed JSON cannot go through the typed client.
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body = %d", resp.StatusCode)
+	}
+
 	if m := scrape(t, ts); m["tkserve_sim_runs_total"] != 0 {
 		t.Fatalf("invalid requests simulated: %v", m)
 	}
 }
 
 func TestBoundedQueueRejectsOverflow(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, ts, cl := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 
-	async := `{"bench":"mcf","warmup":1000,"refs":4000000000,"async":true}`
-	code, j1 := post(t, ts, "/v1/run", async)
-	if code != http.StatusAccepted {
-		t.Fatalf("first submit = %d", code)
+	j1, err := cl.RunAsync(context.Background(), foreverRun)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
 	}
 	waitMetric(t, ts, "tkserve_jobs_running", 1) // worker busy
-	code, j2 := post(t, ts, "/v1/run", async)
-	if code != http.StatusAccepted {
-		t.Fatalf("second submit = %d", code)
+	j2, err := cl.RunAsync(context.Background(), foreverRun)
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
 	}
-	code, j3 := post(t, ts, "/v1/run", async) // queue full
-	if code != http.StatusServiceUnavailable || j3.Error == "" {
-		t.Fatalf("overflow submit: code=%d job=%+v", code, j3)
+	_, err = cl.RunAsync(context.Background(), foreverRun) // queue full
+	if ae := apiError(t, err); ae.Code != api.CodeQueueFull || ae.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit error = %+v", ae)
 	}
 
 	for _, id := range []string{j1.ID, j2.ID} {
-		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
-		resp, err := ts.Client().Do(req)
-		if err != nil {
+		if _, err := cl.CancelJob(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 	}
 	waitMetric(t, ts, "tkserve_jobs_canceled_total", 2)
 }
 
 func TestGracefulShutdownDrains(t *testing.T) {
-	s, ts := newTestServer(t, Config{})
+	s, _, cl := newTestServer(t, Config{})
 
-	code, _ := post(t, ts, "/v1/run", fastRun)
-	if code != http.StatusOK {
-		t.Fatalf("run = %d", code)
+	if _, err := cl.Run(context.Background(), fastRun); err != nil {
+		t.Fatalf("run: %v", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("drained shutdown returned %v", err)
 	}
-	// Submissions after shutdown are rejected.
-	if code, j := post(t, ts, "/v1/run", fastRun); code != http.StatusServiceUnavailable || j.Error == "" {
-		t.Fatalf("post-shutdown submit: code=%d job=%+v", code, j)
+	// Submissions after shutdown are rejected with the draining code.
+	_, err := cl.Run(context.Background(), fastRun)
+	if ae := apiError(t, err); ae.Code != api.CodeDraining || ae.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown submit error = %+v", ae)
 	}
 }

@@ -12,11 +12,26 @@ import (
 	"timekeeping/internal/core"
 	"timekeeping/internal/cpu"
 	"timekeeping/internal/hier"
+	"timekeeping/internal/obs"
 	"timekeeping/internal/prefetch"
 	"timekeeping/internal/trace"
 	"timekeeping/internal/victim"
 	"timekeeping/internal/workload"
 )
+
+// UnknownValueError reports a user-supplied enum value (victim filter,
+// prefetcher) that is not one of the accepted names. Callers that present
+// errors structurally (the HTTP service's error envelope) read Accepted;
+// Error() renders the same list as text.
+type UnknownValueError struct {
+	Kind     string // "victim filter" or "prefetcher"
+	Value    string
+	Accepted []string
+}
+
+func (e *UnknownValueError) Error() string {
+	return fmt.Sprintf("sim: unknown %s %q (accepted: %s)", e.Kind, e.Value, strings.Join(e.Accepted, " | "))
+}
 
 // VictimFilter selects the victim-cache admission policy.
 type VictimFilter string
@@ -48,7 +63,7 @@ func ParseVictimFilter(s string) (VictimFilter, error) {
 			return v, nil
 		}
 	}
-	return "", fmt.Errorf("sim: unknown victim filter %q (accepted: %s)", s, joinNames(VictimFilters()))
+	return "", &UnknownValueError{Kind: "victim filter", Value: s, Accepted: names(VictimFilters())}
 }
 
 // Prefetcher selects the prefetch mechanism.
@@ -79,15 +94,15 @@ func ParsePrefetcher(s string) (Prefetcher, error) {
 			return p, nil
 		}
 	}
-	return "", fmt.Errorf("sim: unknown prefetcher %q (accepted: %s)", s, joinNames(Prefetchers()))
+	return "", &UnknownValueError{Kind: "prefetcher", Value: s, Accepted: names(Prefetchers())}
 }
 
-func joinNames[T ~string](vals []T) string {
-	names := make([]string, len(vals))
+func names[T ~string](vals []T) []string {
+	out := make([]string, len(vals))
 	for i, v := range vals {
-		names[i] = string(v)
+		out[i] = string(v)
 	}
-	return strings.Join(names, " | ")
+	return out
 }
 
 // Options configures one run. The zero value plus Default() gives the
@@ -122,6 +137,14 @@ type Options struct {
 	WarmupRefs  uint64
 	MeasureRefs uint64
 	Seed        uint64
+
+	// Progress, when non-nil, receives live run progress (references done,
+	// phase, throughput) on the CPU model's context-check cadence. It does
+	// not affect simulation behaviour and is excluded from content hashing
+	// (simcache.Key), so runs differing only in Progress share a cache
+	// entry. A multi-run job may share one handle across runs; Expected
+	// then accumulates.
+	Progress *obs.Progress `json:"-"`
 }
 
 // Default returns the paper's baseline configuration at a simulation scale
@@ -273,6 +296,12 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	}
 
 	m := cpu.New(opt.CPU, h)
+	// Progress: one Begin per run (Expected accumulates for multi-run
+	// jobs); the phase flips to measure at the warm-up boundary. PhaseDone
+	// is the job owner's call — a sweep runs many simulations under one
+	// handle.
+	opt.Progress.Begin(obs.PhaseWarmup, opt.WarmupRefs+opt.MeasureRefs)
+	m.SetProgress(opt.Progress)
 	warm, err := m.RunContext(ctx, stream, opt.WarmupRefs)
 	if err != nil {
 		return Result{}, err
@@ -296,6 +325,7 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		tracker.Reset()
 	}
 
+	opt.Progress.SetPhase(obs.PhaseMeasure)
 	final, err := m.RunContext(ctx, stream, opt.MeasureRefs)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,182 @@
+// Package api defines the tkserve service's wire types — requests,
+// job/result views, progress events and the structured error envelope —
+// plus a typed HTTP client (see client.go). It is the service's public
+// surface: internal/serve implements these types over HTTP, and every
+// consumer (the CLI commands, tests, external tooling) talks through this
+// package instead of hand-rolling requests and decoding.
+//
+// The views are deliberately plain data: no methods that recompute, no
+// references into the simulator's internal packages, so the JSON schema is
+// exactly what the structs say.
+package api
+
+import "time"
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: queued -> running -> one of done / failed / canceled.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Cache outcomes: how a run job's result was satisfied.
+const (
+	CacheHit    = "hit"    // answered from the result store
+	CacheMiss   = "miss"   // this job ran the simulation
+	CacheJoined = "joined" // attached to another caller's in-flight run
+)
+
+// RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
+// server's base options.
+type RunRequest struct {
+	Bench          string `json:"bench"`
+	Victim         string `json:"victim,omitempty"`
+	VictimEntries  int    `json:"victim_entries,omitempty"`
+	Prefetch       string `json:"prefetch,omitempty"`
+	Perfect        bool   `json:"perfect,omitempty"`
+	Track          bool   `json:"track,omitempty"`
+	DropSWPrefetch bool   `json:"drop_sw_prefetch,omitempty"`
+	Warmup         uint64 `json:"warmup,omitempty"`
+	Refs           uint64 `json:"refs,omitempty"`
+	Seed           uint64 `json:"seed,omitempty"`
+	// Async detaches the job from the request: the response is an
+	// immediate 202 with the job ID, polled via GET /v1/jobs/{id} or
+	// streamed via GET /v1/jobs/{id}/progress. Synchronous requests block
+	// until the job finishes, and a client disconnect cancels the
+	// simulation.
+	Async bool `json:"async,omitempty"`
+}
+
+// ExperimentRequest is the body of POST /v1/experiments/{id}. All fields
+// are optional.
+type ExperimentRequest struct {
+	Benches []string `json:"benches,omitempty"`
+	Warmup  uint64   `json:"warmup,omitempty"`
+	Refs    uint64   `json:"refs,omitempty"`
+	Seed    uint64   `json:"seed,omitempty"`
+	Async   bool     `json:"async,omitempty"`
+}
+
+// JobView is the externally visible snapshot of one queued simulation or
+// experiment.
+type JobView struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`   // "run" or "experiment"
+	Target string `json:"target"` // benchmark or experiment ID
+	Status Status `json:"status"`
+
+	Cache string `json:"cache,omitempty"` // hit | miss | joined (run jobs)
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	WallMS      float64    `json:"wall_ms,omitempty"` // running -> finished
+
+	Progress *Progress `json:"progress,omitempty"`
+
+	Result *ResultView `json:"result,omitempty"` // run jobs
+	Tables []Table     `json:"tables,omitempty"` // experiment jobs
+	Error  string      `json:"error,omitempty"`
+}
+
+// Progress is a point-in-time view of a job's simulation progress.
+// RefsExpected grows as a multi-run job (an experiment sweep) discovers
+// its simulations; RefsDone only ever increases.
+type Progress struct {
+	Phase        string  `json:"phase"` // idle | warmup | measure | done
+	RefsDone     uint64  `json:"refs_done"`
+	RefsExpected uint64  `json:"refs_expected"`
+	RefsPerSec   float64 `json:"refs_per_sec"`
+}
+
+// ProgressEvent is one frame of the GET /v1/jobs/{id}/progress SSE stream.
+// The stream ends with a Terminal event carrying the job's final status.
+type ProgressEvent struct {
+	JobID  string `json:"job_id"`
+	Status Status `json:"status"`
+	Progress
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Terminal  bool    `json:"terminal"`
+}
+
+// LevelStats is one cache level's counters over the measurement window.
+type LevelStats struct {
+	Accesses   uint64  `json:"accesses"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Writebacks uint64  `json:"writebacks"`
+	MissRate   float64 `json:"miss_rate"`
+}
+
+// VictimView summarises the victim cache's activity.
+type VictimView struct {
+	Offered      uint64  `json:"offered"`
+	Admitted     uint64  `json:"admitted"`
+	Lookups      uint64  `json:"lookups"`
+	Hits         uint64  `json:"hits"`
+	FillPerCycle float64 `json:"fill_per_cycle"`
+}
+
+// PrefetchView summarises the prefetcher's activity.
+type PrefetchView struct {
+	Issued       uint64  `json:"issued"`
+	Useful       uint64  `json:"useful"`
+	AddrAccuracy float64 `json:"addr_accuracy"`
+	Coverage     float64 `json:"coverage"`
+}
+
+// TrackerView summarises the timekeeping tracker's generational metrics.
+type TrackerView struct {
+	Generations      uint64  `json:"generations"`
+	MeanLiveCycles   float64 `json:"mean_live_cycles"`
+	MeanDeadCycles   float64 `json:"mean_dead_cycles"`
+	ZeroLiveAccuracy float64 `json:"zero_live_accuracy"`
+	ZeroLiveCoverage float64 `json:"zero_live_coverage"`
+}
+
+// ResultView is everything one run produced over its measurement window.
+type ResultView struct {
+	Bench string  `json:"bench"`
+	IPC   float64 `json:"ipc"`
+
+	Insts  uint64 `json:"insts"`
+	Cycles uint64 `json:"cycles"`
+	Refs   uint64 `json:"refs"`
+	Loads  uint64 `json:"loads"`
+	Stores uint64 `json:"stores"`
+	// TotalRefs counts every reference processed, warm-up included.
+	TotalRefs uint64 `json:"total_refs"`
+
+	L1 LevelStats `json:"l1"`
+	L2 LevelStats `json:"l2"`
+
+	ColdMisses     uint64 `json:"cold_misses"`
+	ConflictMisses uint64 `json:"conflict_misses"`
+	CapacityMisses uint64 `json:"capacity_misses"`
+	VictimHits     uint64 `json:"victim_hits"`
+
+	PrefetchesIssued uint64 `json:"prefetches_issued,omitempty"`
+	PrefetchesUseful uint64 `json:"prefetches_useful,omitempty"`
+
+	Victim   *VictimView   `json:"victim,omitempty"`
+	Prefetch *PrefetchView `json:"prefetch,omitempty"`
+	Tracker  *TrackerView  `json:"tracker,omitempty"`
+}
+
+// Table is one rendered experiment table (a paper figure or table).
+type Table struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}

@@ -1,0 +1,197 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a typed client for the tkserve HTTP API.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// ProgressInterval, when positive, asks the server to emit progress
+	// snapshots at this cadence instead of its default.
+	ProgressInterval time.Duration
+}
+
+// NewClient returns a client for the service at baseURL (e.g.
+// "http://localhost:8080"). hc nil means http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Run submits a synchronous run and blocks until it finishes. Canceling
+// ctx disconnects the request, which cancels the simulation server-side
+// (unless other clients are attached to the same in-flight run).
+func (c *Client) Run(ctx context.Context, req RunRequest) (*JobView, error) {
+	req.Async = false
+	var j JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// RunAsync submits a detached run and returns its 202 job snapshot
+// immediately; poll with Job or stream with WatchProgress.
+func (c *Client) RunAsync(ctx context.Context, req RunRequest) (*JobView, error) {
+	req.Async = true
+	var j JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Experiment regenerates a paper figure/table/ablation. req.Async behaves
+// as in Run/RunAsync.
+func (c *Client) Experiment(ctx context.Context, id string, req ExperimentRequest) (*JobView, error) {
+	var j JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/experiments/"+url.PathEscape(id), req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists every job in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
+	var out []JobView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job returns one job's snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var j JobView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// CancelJob cancels a queued or running job and returns its snapshot.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobView, error) {
+	var j JobView
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// WatchProgress streams a job's progress events, calling fn for each one.
+// It returns nil after the terminal event (fn sees it, with Terminal set),
+// the error fn returns if fn aborts the watch, or ctx's error if the
+// context ends first.
+func (c *Client) WatchProgress(ctx context.Context, id string, fn func(ProgressEvent) error) error {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "/progress"
+	if c.ProgressInterval > 0 {
+		u += "?interval=" + url.QueryEscape(c.ProgressInterval.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "":
+			var ev ProgressEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return fmt.Errorf("api: decoding progress event: %w", err)
+			}
+			data = ""
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Terminal {
+				return nil
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("api: progress stream for %s ended without a terminal event", id)
+}
+
+// do performs one JSON round trip. Non-2xx responses decode into *Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into a *Error, synthesizing one
+// when the body is not a well-formed envelope.
+func decodeError(resp *http.Response) error {
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(blob, &env); err == nil && env.Err != nil && env.Err.Message != "" {
+		env.Err.HTTPStatus = resp.StatusCode
+		return env.Err
+	}
+	return &Error{
+		Code:       CodeInternal,
+		Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(blob))),
+		HTTPStatus: resp.StatusCode,
+	}
+}

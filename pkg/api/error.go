@@ -1,0 +1,61 @@
+package api
+
+import "fmt"
+
+// ErrorCode is a stable machine-readable failure class. Codes are part of
+// the wire contract: clients may switch on them, so existing values never
+// change meaning.
+type ErrorCode string
+
+// Stable error codes.
+const (
+	// CodeBadRequest: malformed body or invalid field values.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnknownBench: the benchmark name is not in the workload suite;
+	// Accepted lists the valid names.
+	CodeUnknownBench ErrorCode = "unknown_bench"
+	// CodeUnknownFilter: the victim-filter or prefetcher name is not
+	// accepted; Accepted lists the valid names.
+	CodeUnknownFilter ErrorCode = "unknown_filter"
+	// CodeQueueFull: the bounded job queue cannot take another submission.
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeNotFound: no such job or experiment.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeCanceled: the job was canceled (client disconnect, DELETE, or
+	// shutdown) before producing a result.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeDraining: the server is shutting down and no longer accepts
+	// submissions.
+	CodeDraining ErrorCode = "draining"
+	// CodeInternal: the job failed for a reason that is the server's
+	// fault, not the request's.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the structured error every non-2xx response carries, wrapped in
+// an envelope: {"error":{"code":"...","message":"...","accepted":[...]}}.
+// It doubles as the Go error the client returns.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	// Accepted lists the valid values when Code is unknown_bench or
+	// unknown_filter.
+	Accepted []string `json:"accepted,omitempty"`
+
+	// HTTPStatus is the response's status code (not serialized; filled by
+	// the client).
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope is the top-level shape of every non-2xx response body.
+type ErrorEnvelope struct {
+	Err *Error `json:"error"`
+}
