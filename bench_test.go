@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"timekeeping/internal/experiments"
+	"timekeeping/internal/golden"
 	"timekeeping/internal/simcache"
 )
 
@@ -44,23 +45,65 @@ func runExperiment(b *testing.B, id string) {
 }
 
 func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1") }
-func BenchmarkFigure1(b *testing.B)      { runExperiment(b, "fig1") }
-func BenchmarkFigure2(b *testing.B)      { runExperiment(b, "fig2") }
-func BenchmarkFigure4(b *testing.B)      { runExperiment(b, "fig4") }
-func BenchmarkFigure5(b *testing.B)      { runExperiment(b, "fig5") }
-func BenchmarkFigure7(b *testing.B)      { runExperiment(b, "fig7") }
-func BenchmarkFigure8(b *testing.B)      { runExperiment(b, "fig8") }
-func BenchmarkFigure9(b *testing.B)      { runExperiment(b, "fig9") }
-func BenchmarkFigure10(b *testing.B)     { runExperiment(b, "fig10") }
-func BenchmarkFigure11(b *testing.B)     { runExperiment(b, "fig11") }
-func BenchmarkFigure13(b *testing.B)     { runExperiment(b, "fig13") }
-func BenchmarkFigure14(b *testing.B)     { runExperiment(b, "fig14") }
-func BenchmarkFigure15(b *testing.B)     { runExperiment(b, "fig15") }
-func BenchmarkFigure16(b *testing.B)     { runExperiment(b, "fig16") }
-func BenchmarkFigure19(b *testing.B)     { runExperiment(b, "fig19") }
-func BenchmarkFigure20(b *testing.B)     { runExperiment(b, "fig20") }
-func BenchmarkFigure21(b *testing.B)     { runExperiment(b, "fig21") }
-func BenchmarkFigure22(b *testing.B)     { runExperiment(b, "fig22") }
+
+// BenchmarkFigure1 doubles as the benchmark smoke's correctness gate: every
+// iteration checks that the limit-study runs actually simulated (non-zero
+// TotalRefs for both configurations) and that the base-configuration stats
+// still match the reduced-scale golden corpus (testdata/golden/
+// bench_fig1.json, maintained by cmd/tkgold at exactly this runner's scale).
+func BenchmarkFigure1(b *testing.B) {
+	exp, err := experiments.ByID("fig1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stored, err := golden.LoadBench()
+	if err != nil {
+		b.Fatalf("%v (run `go run ./cmd/tkgold -update`)", err)
+	}
+	want := make(map[string]golden.Entry, len(stored))
+	for _, e := range stored {
+		want[e.Bench] = e
+	}
+
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if tables := exp.Run(r); len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+		refs := r.Opts.WarmupRefs + r.Opts.MeasureRefs
+		for _, bench := range r.Benches {
+			for _, config := range []string{"base", "perfect"} {
+				if res := r.Result(config, bench); res.TotalRefs != refs {
+					b.Fatalf("%s/%s: TotalRefs = %d, want %d", config, bench, res.TotalRefs, refs)
+				}
+			}
+			w, ok := want[bench]
+			if !ok {
+				b.Fatalf("%s: no golden entry in %s", bench, golden.BenchPath())
+			}
+			got := golden.EntryOf(bench, golden.BenchScaleOptions(), r.Result("base", bench))
+			if d := golden.Diff(got, w); d != "" {
+				b.Fatalf("%s drifted from golden corpus: %s", bench, d)
+			}
+		}
+	}
+}
+func BenchmarkFigure2(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFigure4(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFigure7(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFigure19(b *testing.B) { runExperiment(b, "fig19") }
+func BenchmarkFigure20(b *testing.B) { runExperiment(b, "fig20") }
+func BenchmarkFigure21(b *testing.B) { runExperiment(b, "fig21") }
+func BenchmarkFigure22(b *testing.B) { runExperiment(b, "fig22") }
 
 func BenchmarkAblateTableSize(b *testing.B)    { runExperiment(b, "ablate-table") }
 func BenchmarkAblateIndexSplit(b *testing.B)   { runExperiment(b, "ablate-mn") }

@@ -1,0 +1,118 @@
+// Command tkgold maintains the golden-stats regression corpus under
+// testdata/golden: one entry per synthetic benchmark under the paper's
+// baseline configuration, plus the reduced-scale set the benchmark smoke
+// verifies.
+//
+// Default mode recomputes every entry and reports drift against the stored
+// corpus (exit 1 on any). -update rewrites the corpus — the only
+// sanctioned way to change it; review the diff like any other code change.
+//
+// Usage:
+//
+//	go run ./cmd/tkgold            # verify
+//	go run ./cmd/tkgold -update    # regenerate after an intentional change
+//	go run ./cmd/tkgold -only mcf  # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timekeeping/internal/golden"
+	"timekeeping/internal/workload"
+)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the corpus instead of verifying it")
+	only := flag.String("only", "", "restrict to one benchmark (full-scale corpus only)")
+	flag.Parse()
+
+	benches := workload.Names()
+	if *only != "" {
+		benches = []string{*only}
+	}
+
+	drift := 0
+	opt := golden.CorpusOptions()
+	for _, b := range benches {
+		e, err := golden.Compute(b, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *update {
+			if err := golden.Save(e); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", golden.Path(b))
+			continue
+		}
+		want, err := golden.Load(b)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w (run with -update to create the corpus)", b, err))
+		}
+		if d := golden.Diff(e, want); d != "" {
+			fmt.Printf("DRIFT %s: %s\n", b, d)
+			drift++
+		} else {
+			fmt.Printf("ok    %s\n", b)
+		}
+	}
+
+	if *only == "" {
+		if err := benchCorpus(*update); err != nil {
+			if *update {
+				fatal(err)
+			}
+			fmt.Printf("DRIFT bench_fig1: %v\n", err)
+			drift++
+		} else if !*update {
+			fmt.Println("ok    bench_fig1")
+		}
+	}
+
+	if drift > 0 {
+		fmt.Printf("%d entries drifted; regenerate with `go run ./cmd/tkgold -update` if intentional\n", drift)
+		os.Exit(1)
+	}
+}
+
+// benchCorpus maintains bench_fig1.json: the benchmark-smoke subset at the
+// reduced scale bench_test.go runs.
+func benchCorpus(update bool) error {
+	subset := []string{"eon", "twolf", "vpr", "ammp", "swim", "mcf", "facerec", "gcc"}
+	opt := golden.BenchScaleOptions()
+	var entries []golden.Entry
+	for _, b := range subset {
+		e, err := golden.Compute(b, opt)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+	if update {
+		if err := golden.SaveBench(entries); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", golden.BenchPath())
+		return nil
+	}
+	want, err := golden.LoadBench()
+	if err != nil {
+		return fmt.Errorf("%w (run with -update to create the corpus)", err)
+	}
+	if len(want) != len(entries) {
+		return fmt.Errorf("stored %d entries, computed %d", len(want), len(entries))
+	}
+	for i, e := range entries {
+		if d := golden.Diff(e, want[i]); d != "" {
+			return fmt.Errorf("%s: %s", e.Bench, d)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tkgold:", err)
+	os.Exit(1)
+}

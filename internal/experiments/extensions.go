@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"timekeeping/internal/cpu"
 	"timekeeping/internal/decay"
-	"timekeeping/internal/hier"
 	"timekeeping/internal/report"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/stats"
@@ -26,17 +24,20 @@ func ExtDecay(r *Runner) []*report.Table {
 	cost := &report.Table{Title: "Extension: cache decay — extra misses per access", Columns: cols}
 
 	for _, b := range benchSubset(r, []string{"ammp", "swim", "twolf", "gcc", "eon"}) {
-		h := hier.New(r.Opts.Hier)
-		d := decay.New(h.L1().NumFrames(), decay.DefaultIntervals)
-		h.AddObserver(d)
-		m := cpu.New(r.Opts.CPU, h)
-		spec := workload.MustProfile(b)
-		m.Run(spec.Stream(r.Opts.Seed), r.Opts.WarmupRefs+r.Opts.MeasureRefs)
+		// A plain sim run with the decay evaluation attached: memoised
+		// through the shared cache and covered by audit mode, unlike the
+		// hand-rolled hierarchy this used before.
+		opts := r.Opts
+		opts.DecayIntervals = decay.DefaultIntervals
+		res, err := r.run(b, opts)
+		if err != nil {
+			panic(err)
+		}
 
 		offRow, costRow := []string{b}, []string{b}
-		for _, res := range d.Results() {
-			offRow = append(offRow, report.Pct(res.OffFraction))
-			costRow = append(costRow, report.F(res.ExtraMissRate, 4))
+		for _, d := range res.Decay {
+			offRow = append(offRow, report.Pct(d.OffFraction))
+			costRow = append(costRow, report.F(d.ExtraMissRate, 4))
 		}
 		off.AddRow(offRow...)
 		cost.AddRow(costRow...)

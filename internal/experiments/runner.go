@@ -97,6 +97,11 @@ func (r *Runner) options(config string) sim.Options {
 	return opts
 }
 
+// Result returns the memoised result for a named configuration and
+// benchmark, running it if needed — the exported form of get, used by the
+// benchmark smoke's golden verification and by tests.
+func (r *Runner) Result(config, bench string) sim.Result { return r.get(config, bench) }
+
 // get returns the cached result for (config, bench), running it if needed.
 func (r *Runner) get(config, bench string) sim.Result {
 	res, err := r.run(bench, r.options(config))

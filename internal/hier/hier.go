@@ -172,6 +172,36 @@ type Prefetcher interface {
 	Filled(id uint64, at uint64, frame int, victim cache.Victim)
 }
 
+// L2Op describes one L2 array operation, reported to the auditor so it can
+// mirror L2 contents: a demand access (Fill false) or a prefetch fill.
+type L2Op struct {
+	Block  uint64 // L1-block-aligned address presented to the L2
+	Write  bool
+	Fill   bool
+	Hit    bool
+	Victim cache.Victim
+}
+
+// Auditor receives every functional-contents mutation of the hierarchy in
+// execution order, for lockstep verification against a reference model
+// (see internal/oracle). Calls arrive in the exact order the caches
+// mutate: prefetch fills installed before a demand reference precede its
+// AuditDemand, and prefetch issues follow it. The hierarchy only builds
+// L2Op values when an auditor is attached, so unaudited runs pay a nil
+// check and nothing else.
+type Auditor interface {
+	// AuditDemand reports a demand reference after the access completed.
+	// l2 is the L2 operation the miss performed, or nil when the miss
+	// path skipped the L2 (hit, victim-buffer hit, PerfectL1 shortcut).
+	AuditDemand(ev *AccessEvent, l2 *L2Op)
+	// AuditPrefetchIssue reports a prefetch's L2 fill at issue time.
+	AuditPrefetchIssue(now uint64, l2 *L2Op)
+	// AuditPrefetchFill reports a prefetch arriving in the L1 at cycle
+	// `at`; installed is false when the block was already resident (the
+	// fill was a no-op) and victim is the block displaced when it wasn't.
+	AuditPrefetchFill(at, block uint64, installed bool, victim cache.Victim)
+}
+
 // frameState is the per-L1-frame counter hardware of Figure 12/18: a
 // last-access time (dead-time counter), the generation start, and the
 // re-reference bit.
@@ -236,6 +266,7 @@ type Hierarchy struct {
 	victim     VictimBuffer
 	prefetcher Prefetcher
 	observers  []Observer
+	audit      Auditor
 
 	pending []pendingFill
 	stats   Stats
@@ -284,6 +315,9 @@ func (h *Hierarchy) AttachPrefetcher(p Prefetcher) { h.prefetcher = p }
 
 // AddObserver registers an access observer.
 func (h *Hierarchy) AddObserver(o Observer) { h.observers = append(h.observers, o) }
+
+// SetAuditor attaches the lockstep auditor (nil detaches).
+func (h *Hierarchy) SetAuditor(a Auditor) { h.audit = a }
 
 // Stats returns the counters accumulated since the last ResetStats.
 func (h *Hierarchy) Stats() Stats { return h.stats }
@@ -344,6 +378,7 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 		Hit:   res.Hit,
 	}
 
+	var l2op *L2Op
 	switch {
 	case res.Hit && merged:
 		// Secondary miss: data arrives when the outstanding fill does.
@@ -356,7 +391,7 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 		doneAt = now + h.cfg.L1HitLat
 		h.stats.Hits++
 	default:
-		doneAt = h.miss(&ev, res, block, missKind, write, now)
+		doneAt, l2op = h.miss(&ev, res, block, missKind, write, now)
 	}
 	ev.Done = doneAt
 
@@ -379,6 +414,9 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 		fs.lastAccess = now
 	}
 
+	if h.audit != nil {
+		h.audit.AuditDemand(&ev, l2op)
+	}
 	for _, o := range h.observers {
 		o.OnAccess(&ev)
 	}
@@ -393,8 +431,10 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 	return doneAt
 }
 
-// miss handles the L1 miss path and returns the data-ready time.
-func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind classify.MissKind, write bool, now uint64) uint64 {
+// miss handles the L1 miss path and returns the data-ready time, plus the
+// L2 operation performed (built only when an auditor is attached; nil when
+// the miss never reached the L2).
+func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind classify.MissKind, write bool, now uint64) (uint64, *L2Op) {
 	h.stats.Misses++
 	ev.MissKind = kind
 	switch kind {
@@ -439,18 +479,22 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 	if h.victim != nil && h.victim.Lookup(block, now) {
 		ev.VictimHit = true
 		h.stats.VictimHits++
-		return now + h.cfg.L1HitLat + 1
+		return now + h.cfg.L1HitLat + 1, nil
 	}
 
 	// Limit study: non-cold misses are free.
 	if h.cfg.PerfectL1 && kind != classify.Cold {
-		return now + h.cfg.L1HitLat
+		return now + h.cfg.L1HitLat, nil
 	}
 
 	// Real fetch from L2/memory.
 	start := h.demandMSHR.Allocate(block, now+h.cfg.L1HitLat)
 	_, busDone := h.busL2.Demand(start, h.cfg.L1.BlockBytes)
 	l2res := h.l2.Access(block, write)
+	var l2op *L2Op
+	if h.audit != nil {
+		l2op = &L2Op{Block: block, Write: write, Hit: l2res.Hit, Victim: l2res.Victim}
+	}
 	var done uint64
 	if l2res.Hit {
 		h.stats.L2Hits++
@@ -465,7 +509,7 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 		}
 	}
 	h.demandMSHR.Commit(block, done)
-	return done
+	return done, l2op
 }
 
 // issuePrefetches pulls due requests from the prefetcher, subject to
@@ -505,6 +549,9 @@ func (h *Hierarchy) issuePrefetches(now uint64) {
 		ctrPFIssued.Inc()
 		_, busDone := h.busL2.Prefetch(now, h.cfg.L1.BlockBytes)
 		l2res := h.l2.Fill(req.Block)
+		if h.audit != nil {
+			h.audit.AuditPrefetchIssue(now, &L2Op{Block: req.Block, Fill: true, Hit: l2res.Hit, Victim: l2res.Victim})
+		}
 		var done uint64
 		if l2res.Hit {
 			done = busDone + h.cfg.L2Lat
@@ -545,6 +592,9 @@ func (h *Hierarchy) completePending(i int) {
 	h.pending = append(h.pending[:i], h.pending[i+1:]...)
 
 	res := h.l1.Fill(p.block)
+	if h.audit != nil {
+		h.audit.AuditPrefetchFill(p.arriveAt, p.block, !res.Hit, res.Victim)
+	}
 	if !res.Hit && res.Victim.Valid {
 		fs := &h.frames[res.Frame]
 		var dead uint64

@@ -1,0 +1,103 @@
+package oracle_test
+
+// Acceptance: audit mode passes — zero divergences — for every synthetic
+// benchmark under the baseline config and under the victim-cache, decay,
+// and timekeeping-prefetch configs. This is the PR-gating form of the
+// lockstep verification; -short runs a representative benchmark subset.
+
+import (
+	"testing"
+
+	"timekeeping/internal/decay"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+)
+
+// auditConfigs are the mechanism configurations the acceptance run covers.
+var auditConfigs = []struct {
+	name string
+	mut  func(*sim.Options)
+}{
+	{"base", func(o *sim.Options) { o.Track = true }},
+	{"victim", func(o *sim.Options) { o.VictimFilter = sim.VictimDecay }},
+	{"decay", func(o *sim.Options) { o.DecayIntervals = decay.DefaultIntervals }},
+	{"tkprefetch", func(o *sim.Options) { o.Prefetcher = sim.PrefetchTK }},
+}
+
+func auditBenches(t *testing.T) []string {
+	t.Helper()
+	all := workload.Names()
+	if len(all) != 26 {
+		t.Fatalf("workload suite has %d benchmarks, want 26", len(all))
+	}
+	if testing.Short() {
+		return []string{"eon", "twolf", "mcf", "swim", "gcc"}
+	}
+	return all
+}
+
+func TestAuditAllBenchmarks(t *testing.T) {
+	for _, cfg := range auditConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, b := range auditBenches(t) {
+				opt := sim.Default()
+				opt.WarmupRefs = 5_000
+				opt.MeasureRefs = 25_000
+				opt.Audit = true
+				cfg.mut(&opt)
+				res, err := sim.Run(workload.MustProfile(b), opt)
+				if err != nil {
+					t.Fatalf("%s: %v", b, err)
+				}
+				a := res.Audit
+				if a == nil {
+					t.Fatalf("%s: audited run returned no audit summary", b)
+				}
+				if a.Refs != opt.WarmupRefs+opt.MeasureRefs {
+					t.Errorf("%s: audited %d refs, want %d", b, a.Refs, opt.WarmupRefs+opt.MeasureRefs)
+				}
+				if a.DemandDigest == 0 {
+					t.Errorf("%s: zero demand digest", b)
+				}
+			}
+		})
+	}
+}
+
+// TestAuditEnvToggle checks the TK_AUDIT environment toggle forces audit
+// mode on without the option being set (the CI lockstep leg relies on it).
+func TestAuditEnvToggle(t *testing.T) {
+	t.Setenv("TK_AUDIT", "1")
+	opt := sim.Default()
+	opt.WarmupRefs = 1_000
+	opt.MeasureRefs = 5_000
+	res, err := sim.Run(workload.MustProfile("eon"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit == nil {
+		t.Fatal("TK_AUDIT=1 did not enable audit mode")
+	}
+}
+
+// TestAuditDeterministic: two audited runs of the same options produce the
+// same digest and generation count — the audit summary is a pure function
+// of the configuration.
+func TestAuditDeterministic(t *testing.T) {
+	opt := sim.Default()
+	opt.WarmupRefs = 2_000
+	opt.MeasureRefs = 10_000
+	opt.Audit = true
+	opt.Track = true
+	r1, err := sim.Run(workload.MustProfile("twolf"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(workload.MustProfile("twolf"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1.Audit != *r2.Audit {
+		t.Fatalf("audit summaries differ: %+v vs %+v", r1.Audit, r2.Audit)
+	}
+}

@@ -1,0 +1,337 @@
+// Generation-lifetime bookkeeping: the oracle's view of the timekeeping
+// metrics (live time, dead time, access interval, reload interval), kept
+// per block instead of per frame and checked two ways:
+//
+//   - a mirror layer that reproduces core.Tracker's arithmetic exactly
+//     (raw issue times, the same clamped subtraction, the same guards) so
+//     the tracker's histograms can be compared bucket-for-bucket after the
+//     run; and
+//   - an invariant layer on a per-generation monotonic clock that asserts
+//     the paper's timekeeping identities exactly: live + dead equals the
+//     generation time, no access interval exceeds the live time, a
+//     generation with no hits has zero live time, and a block's next
+//     generation never starts before its previous one ended (the reload
+//     interval covers dead time plus the following live time).
+//
+// Two layers are needed because out-of-order issue makes raw reference
+// timestamps only approximately monotonic: the tracker tolerates the
+// inversions by clamping, so exact identities only hold on a monotonized
+// clock, while tracker comparison only works on the raw one.
+package oracle
+
+import (
+	"fmt"
+
+	"timekeeping/internal/classify"
+	"timekeeping/internal/core"
+	"timekeeping/internal/stats"
+)
+
+// sprintf keeps the comparison code readable.
+var sprintf = fmt.Sprintf
+
+// gen is one open generation of a block: the raw tracker-mirror registers
+// and the monotone invariant clock side by side.
+type gen struct {
+	// Mirror registers (raw issue times, tracker semantics).
+	start      uint64
+	lastAccess uint64
+	lastHit    uint64
+	hits       uint64
+	maxAI      uint64
+
+	// Invariant clock (monotone within the generation).
+	effStart   uint64
+	effLast    uint64
+	effLastHit uint64
+	effMaxAI   uint64
+}
+
+// blockPast is what the bookkeeper remembers about a block's completed
+// generations.
+type blockPast struct {
+	lastStart uint64 // mirror: last generation's raw start (reload interval)
+	prevZero  bool   // mirror: previous generation had zero live time
+	hasGen    bool   // mirror: a completed generation exists
+
+	prevStartEff   uint64 // invariant: previous generation's monotone start
+	prevEndEff     uint64 // invariant: previous generation's monotone end
+	prevGenTimeEff uint64
+	hasPrev        bool
+}
+
+// Bookkeeper accumulates generation lifetimes from the oracle's event
+// stream. Divergences are reported through the fail callback (installed by
+// the Auditor), which must not return.
+type Bookkeeper struct {
+	gens map[uint64]*gen
+	past map[uint64]*blockPast
+	fail func(check string, block uint64, format string, args ...any)
+
+	// Mirror metrics, compared against core.Tracker after the run.
+	generations uint64
+	live        *stats.Hist
+	dead        *stats.Hist
+	accInt      *stats.Hist
+	reload      *stats.Hist
+	zeroLive    stats.BinaryPredictionTally
+
+	// Whole-run tallies.
+	totalGens uint64
+	skews     uint64 // raw-timestamp inversions the invariant clock absorbed
+}
+
+// NewBookkeeper returns an empty bookkeeper; fail receives invariant
+// violations and must panic or otherwise not return.
+func NewBookkeeper(fail func(check string, block uint64, format string, args ...any)) *Bookkeeper {
+	b := &Bookkeeper{
+		gens: make(map[uint64]*gen),
+		past: make(map[uint64]*blockPast),
+		fail: fail,
+	}
+	b.resetMetrics()
+	return b
+}
+
+func (b *Bookkeeper) resetMetrics() {
+	b.generations = 0
+	b.live = stats.NewHist(core.ShortBucket, core.PlotBuckets)
+	b.dead = stats.NewHist(core.ShortBucket, core.PlotBuckets)
+	b.accInt = stats.NewHist(core.ShortBucket, core.PlotBuckets)
+	b.reload = stats.NewHist(core.LongBucket, core.PlotBuckets)
+	b.zeroLive = stats.BinaryPredictionTally{}
+}
+
+// ResetStats clears the mirror metrics but keeps every open generation and
+// all per-block history — the same warm-up boundary semantics as
+// core.Tracker.Reset.
+func (b *Bookkeeper) ResetStats() { b.resetMetrics() }
+
+// Generations returns the number of generations closed since the last
+// ResetStats.
+func (b *Bookkeeper) Generations() uint64 { return b.generations }
+
+// TotalGenerations returns the number closed over the whole run.
+func (b *Bookkeeper) TotalGenerations() uint64 { return b.totalGens }
+
+// Skews returns how many raw-timestamp inversions the invariant clock
+// absorbed (out-of-order issue; expected to be a small fraction of refs).
+func (b *Bookkeeper) Skews() uint64 { return b.skews }
+
+// Open returns the number of currently open generations (== resident
+// blocks; for tests).
+func (b *Bookkeeper) Open() int { return len(b.gens) }
+
+// OnHit records a demand hit on a resident block.
+func (b *Bookkeeper) OnHit(now, block uint64) {
+	g := b.gens[block]
+	if g == nil {
+		b.fail("generation", block, "demand hit on block with no open generation")
+		return
+	}
+
+	// Mirror: tracker's hit branch, verbatim arithmetic.
+	ai := sub(now, g.lastAccess)
+	b.accInt.Add(ai)
+	if ai > g.maxAI {
+		g.maxAI = ai
+	}
+	g.hits++
+	if now > g.lastHit {
+		g.lastHit = now
+	}
+	if now > g.lastAccess {
+		g.lastAccess = now
+	}
+
+	// Invariant clock: monotone within the generation.
+	effNow := now
+	if effNow < g.effLast {
+		b.skews++
+		effNow = g.effLast
+	}
+	if ai := effNow - g.effLast; ai > g.effMaxAI {
+		g.effMaxAI = ai
+	}
+	g.effLast = effNow
+	g.effLastHit = effNow
+}
+
+// OnMiss records a demand miss: it closes the victim's generation (when
+// one was evicted), records the reload interval and the zero-live-time
+// predictor outcome, and opens the incoming block's generation.
+func (b *Bookkeeper) OnMiss(now, block uint64, kind classify.MissKind, victim Evicted) {
+	if victim.Valid {
+		b.close(now, victim.Addr)
+	}
+
+	bp := b.pastOf(block)
+
+	// Mirror: tracker's reload-interval and zero-live arithmetic.
+	if bp.lastStart > 0 && now > bp.lastStart {
+		b.reload.Add(sub(now, bp.lastStart))
+	}
+	if bp.hasGen && (kind == classify.Conflict || kind == classify.Capacity) {
+		b.zeroLive.Record(bp.prevZero, bp.prevZero && kind == classify.Conflict)
+	}
+	bp.lastStart = now
+
+	b.open(now, block, bp)
+}
+
+// OnFill records a prefetch installing a block (invisible to the tracker,
+// so no mirror updates — tracker comparison is disabled under prefetching
+// anyway — but the invariant layer must know the generation exists).
+func (b *Bookkeeper) OnFill(at, block uint64, victim Evicted) {
+	if victim.Valid {
+		b.close(at, victim.Addr)
+	}
+	b.open(at, block, b.pastOf(block))
+}
+
+func (b *Bookkeeper) pastOf(block uint64) *blockPast {
+	bp := b.past[block]
+	if bp == nil {
+		bp = &blockPast{}
+		b.past[block] = bp
+	}
+	return bp
+}
+
+// open starts a new generation for block at time now.
+func (b *Bookkeeper) open(now, block uint64, bp *blockPast) {
+	if b.gens[block] != nil {
+		b.fail("generation", block, "fill for a block whose generation is still open")
+		return
+	}
+
+	effStart := now
+	if bp.hasPrev && now < bp.prevEndEff {
+		// A raw inversion across generations: the fill's issue time
+		// predates the previous eviction's. Absorb it; the reload-interval
+		// relation is checked on the clamped clock.
+		b.skews++
+		effStart = bp.prevEndEff
+	}
+	if bp.hasPrev {
+		// Reload interval relation: the gap between consecutive generation
+		// starts covers the previous generation entirely (its live time
+		// plus its dead time); the remainder is time spent evicted.
+		if reload := effStart - bp.prevStartEff; reload < bp.prevGenTimeEff {
+			b.fail("reload", block,
+				"reload interval %d < previous generation time %d (live+dead)",
+				reload, bp.prevGenTimeEff)
+			return
+		}
+	}
+	bp.prevStartEff = effStart
+
+	b.gens[block] = &gen{
+		start: now, lastAccess: now, lastHit: now,
+		effStart: effStart, effLast: effStart, effLastHit: effStart,
+	}
+}
+
+// close ends the block's open generation at eviction time now.
+func (b *Bookkeeper) close(now, block uint64) {
+	g := b.gens[block]
+	if g == nil {
+		b.fail("generation", block, "eviction of a block with no open generation")
+		return
+	}
+	delete(b.gens, block)
+
+	// Mirror: tracker's endGeneration arithmetic.
+	var live, dead uint64
+	if g.hits > 0 {
+		live = sub(g.lastHit, g.start)
+		dead = sub(now, g.lastHit)
+	} else {
+		dead = sub(now, g.start)
+	}
+	b.generations++
+	b.totalGens++
+	b.live.Add(live)
+	b.dead.Add(dead)
+
+	// Invariant clock: the paper's identities hold exactly here.
+	effEnd := now
+	if effEnd < g.effLast {
+		b.skews++
+		effEnd = g.effLast
+	}
+	genTime := effEnd - g.effStart
+	liveEff := g.effLastHit - g.effStart
+	deadEff := effEnd - g.effLastHit
+	if liveEff+deadEff != genTime {
+		b.fail("live+dead", block, "live %d + dead %d != generation time %d", liveEff, deadEff, genTime)
+		return
+	}
+	if g.effMaxAI > liveEff {
+		b.fail("accint", block, "max access interval %d > live time %d", g.effMaxAI, liveEff)
+		return
+	}
+	if g.hits == 0 && liveEff != 0 {
+		b.fail("zerolive", block, "generation with no hits has live time %d", liveEff)
+		return
+	}
+
+	bp := b.pastOf(block)
+	bp.prevZero = g.hits == 0
+	bp.hasGen = true
+	bp.prevEndEff = effEnd
+	bp.prevGenTimeEff = genTime
+	bp.hasPrev = true
+}
+
+// CompareTracker checks the mirror metrics against a real tracker's: the
+// generation count, the zero-live-time predictor tally, and the four
+// lifetime histograms bucket-for-bucket. Valid only for runs without a
+// prefetcher (the tracker does not observe prefetch fills).
+func (b *Bookkeeper) CompareTracker(m *core.Metrics) error {
+	if m.Generations != b.generations {
+		return &Divergence{Check: "tracker", Detail: sprintf(
+			"generations: tracker %d, oracle %d", m.Generations, b.generations)}
+	}
+	if m.ZeroLive != b.zeroLive {
+		return &Divergence{Check: "tracker", Detail: sprintf(
+			"zero-live tally: tracker %+v, oracle %+v", m.ZeroLive, b.zeroLive)}
+	}
+	pairs := []struct {
+		name         string
+		real, mirror *stats.Hist
+	}{
+		{"live", m.Live, b.live},
+		{"dead", m.Dead, b.dead},
+		{"accint", m.AccInt, b.accInt},
+		{"reload", m.Reload, b.reload},
+	}
+	for _, p := range pairs {
+		if err := compareHist(p.name, p.real, p.mirror); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compareHist(name string, real, mirror *stats.Hist) error {
+	if real.Total() != mirror.Total() {
+		return &Divergence{Check: "tracker", Detail: sprintf(
+			"%s histogram totals: tracker %d, oracle %d", name, real.Total(), mirror.Total())}
+	}
+	for i := 0; i <= real.Buckets; i++ {
+		if real.Count(i) != mirror.Count(i) {
+			return &Divergence{Check: "tracker", Detail: sprintf(
+				"%s histogram bucket %d: tracker %d, oracle %d", name, i, real.Count(i), mirror.Count(i))}
+		}
+	}
+	return nil
+}
+
+// sub is a-b clamped at zero, identical to core's interval arithmetic.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

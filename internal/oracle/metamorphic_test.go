@@ -1,0 +1,144 @@
+package oracle_test
+
+// Metamorphic suite: cross-run properties the paper's conclusions rely
+// on. Each property is either a theorem of LRU replacement (asserted
+// unconditionally) or an empirical regularity of this workload suite
+// (asserted over the suite; a violation means either a simulator bug or a
+// workload change that needs review).
+
+import (
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/oracle"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+)
+
+func metaBenches() []string {
+	if testing.Short() {
+		return []string{"eon", "twolf", "mcf", "swim", "gcc", "ammp"}
+	}
+	return workload.Names()
+}
+
+// TestLargerCacheNeverMissesMore checks LRU inclusion two ways:
+//
+//   - associativity scaling at a fixed set count (1->2->4 ways) is the
+//     classic LRU stack-inclusion theorem — a strict guarantee;
+//   - same-associativity capacity doubling (more sets) is not a theorem
+//     for set-indexed caches, but holds across this entire workload suite
+//     and is exactly the "bigger cache can't hurt" monotonicity the
+//     paper's capacity arguments assume.
+func TestLargerCacheNeverMissesMore(t *testing.T) {
+	const refs = 100_000
+	for _, b := range metaBenches() {
+		spec := workload.MustProfile(b)
+
+		// Theorem: same sets (1024), growing ways.
+		prev := ^uint64(0)
+		for _, g := range []cache.Config{
+			{Name: "w1", Bytes: 32 << 10, BlockBytes: 32, Ways: 1},
+			{Name: "w2", Bytes: 64 << 10, BlockBytes: 32, Ways: 2},
+			{Name: "w4", Bytes: 128 << 10, BlockBytes: 32, Ways: 4},
+		} {
+			_, miss := oracle.Replay(spec.Stream(1), g, refs)
+			if miss > prev {
+				t.Errorf("%s %s: misses %d > smaller cache %d (LRU inclusion violated)", b, g.Name, miss, prev)
+			}
+			prev = miss
+		}
+
+		// Empirical: same associativity, doubling capacity.
+		for _, ways := range []int{1, 2} {
+			prev = ^uint64(0)
+			for _, kb := range []uint64{8, 16, 32, 64, 128} {
+				g := cache.Config{Name: "sz", Bytes: kb << 10, BlockBytes: 32, Ways: ways}
+				_, miss := oracle.Replay(spec.Stream(1), g, refs)
+				if miss > prev {
+					t.Errorf("%s ways=%d %dKB: misses %d > smaller cache %d", b, ways, kb, miss, prev)
+				}
+				prev = miss
+			}
+		}
+	}
+}
+
+// TestVictimCacheFunctionalInvariants checks what the victim buffer may
+// and may not change. The buffer interposes on timing only — L1 contents
+// are victim-cache-independent — so over the same measurement window:
+//
+//   - L1 hit and miss counts are identical across victim configurations
+//     (off, unfiltered, Collins, decay);
+//   - every configuration sees the same eviction stream (same Offered);
+//   - a filter only removes admissions (Admitted <= unfiltered's);
+//   - every victim-cache hit is an L1 miss (VictimHits <= Misses).
+//
+// Note the raw victim-hit count is NOT monotone under filtering: admitting
+// less keeps useful entries resident longer, so a filtered buffer can
+// catch more victim hits than the unfiltered one — measured fact on this
+// suite, and the reason filtering preserves the gain at a fraction of the
+// fill traffic.
+func TestVictimCacheFunctionalInvariants(t *testing.T) {
+	for _, b := range metaBenches() {
+		opt := sim.Default()
+		opt.WarmupRefs = 5_000
+		opt.MeasureRefs = 30_000
+
+		off := sim.MustRun(workload.MustProfile(b), opt)
+
+		results := map[sim.VictimFilter]sim.Result{}
+		for _, f := range []sim.VictimFilter{sim.VictimNone, sim.VictimCollins, sim.VictimDecay} {
+			o := opt
+			o.VictimFilter = f
+			results[f] = sim.MustRun(workload.MustProfile(b), o)
+		}
+
+		for f, res := range results {
+			if res.Hier.Hits != off.Hier.Hits || res.Hier.Misses != off.Hier.Misses {
+				t.Errorf("%s/%s: L1 hits/misses %d/%d differ from no-victim run %d/%d",
+					b, f, res.Hier.Hits, res.Hier.Misses, off.Hier.Hits, off.Hier.Misses)
+			}
+			if res.Victim.Offered != results[sim.VictimNone].Victim.Offered {
+				t.Errorf("%s/%s: offered %d, want %d (eviction stream must be functional)",
+					b, f, res.Victim.Offered, results[sim.VictimNone].Victim.Offered)
+			}
+			if res.Victim.Admitted > results[sim.VictimNone].Victim.Admitted {
+				t.Errorf("%s/%s: admitted %d > unfiltered %d (a filter can only remove admissions)",
+					b, f, res.Victim.Admitted, results[sim.VictimNone].Victim.Admitted)
+			}
+			if res.Hier.VictimHits > res.Hier.Misses {
+				t.Errorf("%s/%s: victim hits %d > misses %d", b, f, res.Hier.VictimHits, res.Hier.Misses)
+			}
+		}
+	}
+}
+
+// TestPrefetchDoesNotChangeDemandClassification: the oracle's demand-only
+// model (which never sees prefetch fills) must produce an identical
+// (block, hit) outcome sequence whatever prefetcher runs — prefetching
+// changes cache contents and timing, never the demand reference stream
+// itself. The audit summary's digest is an order-sensitive hash of that
+// sequence.
+func TestPrefetchDoesNotChangeDemandClassification(t *testing.T) {
+	for _, b := range metaBenches() {
+		var want uint64
+		for i, p := range []sim.Prefetcher{sim.PrefetchOff, sim.PrefetchTK, sim.PrefetchNextLine, sim.PrefetchDBCP} {
+			opt := sim.Default()
+			opt.WarmupRefs = 5_000
+			opt.MeasureRefs = 25_000
+			opt.Audit = true
+			opt.Prefetcher = p
+			res, err := sim.Run(workload.MustProfile(b), opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b, p, err)
+			}
+			if i == 0 {
+				want = res.Audit.DemandDigest
+			} else if res.Audit.DemandDigest != want {
+				t.Errorf("%s/%s: demand digest %#x differs from no-prefetch %#x",
+					b, p, res.Audit.DemandDigest, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/classify"
+	"timekeeping/internal/hier"
+)
+
+// fakeHitEvent claims a hit that cannot have happened (cold cache).
+var fakeHitEvent = hier.AccessEvent{Now: 10, Addr: 0x40, Block: 0x40, Hit: true}
+
+func cfg(bytes uint64, ways int) cache.Config {
+	return cache.Config{Name: "t", Bytes: bytes, BlockBytes: 32, Ways: ways}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	// One set, two ways: the least recently *accessed* block is evicted.
+	c := NewCache(cfg(64, 2))
+	c.Access(0, false)    // A
+	c.Access(1024, false) // B (same set: only one set exists)
+	c.Access(0, false)    // touch A; B is now LRU
+	hit, v := c.Access(2048, false)
+	if hit {
+		t.Fatal("unexpected hit")
+	}
+	if !v.Valid || v.Addr != 1024 {
+		t.Fatalf("evicted %+v, want block 1024", v)
+	}
+}
+
+func TestCacheFillDoesNotPromote(t *testing.T) {
+	c := NewCache(cfg(64, 2))
+	c.Access(0, false)    // A
+	c.Access(1024, false) // B; LRU order B,A... A is LRU
+	if hit, _ := c.Fill(0); !hit {
+		t.Fatal("fill of resident block should hit")
+	}
+	// A must still be LRU: a fill-hit does not promote.
+	_, v := c.Access(2048, false)
+	if !v.Valid || v.Addr != 0 {
+		t.Fatalf("evicted %+v, want block 0 (fill must not promote)", v)
+	}
+}
+
+func TestCacheDirtyTracking(t *testing.T) {
+	c := NewCache(cfg(32, 1))
+	c.Access(0, true) // dirty install
+	_, v := c.Access(4096, false)
+	if !v.Valid || !v.Dirty {
+		t.Fatalf("evicted %+v, want dirty victim", v)
+	}
+	// Fill installs clean.
+	c2 := NewCache(cfg(32, 1))
+	c2.Fill(0)
+	_, v2 := c2.Access(4096, false)
+	if !v2.Valid || v2.Dirty {
+		t.Fatalf("evicted %+v, want clean victim", v2)
+	}
+}
+
+// TestCacheDifferential drives a random mixed access/fill stream through
+// the oracle and the real cache model and demands identical outcomes at
+// every step — hit/miss, victim identity, victim dirtiness.
+func TestCacheDifferential(t *testing.T) {
+	geoms := []cache.Config{
+		cfg(1<<10, 1), cfg(1<<10, 2), cfg(4<<10, 4), cfg(2<<10, 8),
+	}
+	for _, g := range geoms {
+		real := cache.New(g)
+		orc := NewCache(g)
+		rng := rand.New(rand.NewSource(int64(g.Bytes) + int64(g.Ways)))
+		for i := 0; i < 200_000; i++ {
+			addr := uint64(rng.Intn(1 << 14))
+			write := rng.Intn(4) == 0
+			if rng.Intn(8) == 0 {
+				rres := real.Fill(addr)
+				hit, vic := orc.Fill(addr)
+				if hit != rres.Hit {
+					t.Fatalf("%s step %d fill(%#x): oracle hit=%v real hit=%v", g.Name, i, addr, hit, rres.Hit)
+				}
+				compareVictim(t, g, i, vic, rres.Victim)
+			} else {
+				rres := real.Access(addr, write)
+				hit, vic := orc.Access(addr, write)
+				if hit != rres.Hit {
+					t.Fatalf("%s step %d access(%#x): oracle hit=%v real hit=%v", g.Name, i, addr, hit, rres.Hit)
+				}
+				compareVictim(t, g, i, vic, rres.Victim)
+			}
+		}
+	}
+}
+
+func compareVictim(t *testing.T, g cache.Config, step int, vic Evicted, rv cache.Victim) {
+	t.Helper()
+	if vic != (Evicted{Valid: rv.Valid, Addr: rv.Addr, Dirty: rv.Dirty}) {
+		t.Fatalf("%s step %d: oracle victim %+v, real victim %+v", g.Name, step, vic, rv)
+	}
+}
+
+func TestBookkeeperInvariants(t *testing.T) {
+	var failed *Divergence
+	b := NewBookkeeper(func(check string, block uint64, format string, args ...any) {
+		failed = &Divergence{Check: check, Block: block}
+		panic(failed)
+	})
+
+	// A well-formed generation: install at 100, hits at 150/200, evict at
+	// 500, reinstall at 600.
+	b.OnMiss(100, 0x40, classify.Cold, Evicted{})
+	b.OnHit(150, 0x40)
+	b.OnHit(200, 0x40)
+	b.OnMiss(500, 0x80, classify.Cold, Evicted{Valid: true, Addr: 0x40})
+	if got := b.TotalGenerations(); got != 1 {
+		t.Fatalf("generations = %d, want 1", got)
+	}
+	b.OnMiss(600, 0x40, classify.Conflict, Evicted{})
+
+	// A hit on a block with no open generation is a divergence.
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected divergence panic")
+			}
+		}()
+		b.OnHit(700, 0xdead0)
+	}()
+	if failed == nil || failed.Check != "generation" {
+		t.Fatalf("divergence = %+v, want generation check", failed)
+	}
+}
+
+func TestBookkeeperResetKeepsOpenGenerations(t *testing.T) {
+	b := NewBookkeeper(func(check string, block uint64, format string, args ...any) {
+		t.Fatalf("unexpected divergence %s on block %#x", check, block)
+	})
+	b.OnMiss(100, 0x40, classify.Cold, Evicted{})
+	b.ResetStats()
+	if b.Generations() != 0 {
+		t.Fatal("reset should clear the window count")
+	}
+	// The open generation survives the reset and closes normally.
+	b.OnHit(200, 0x40)
+	b.OnMiss(300, 0x80, classify.Cold, Evicted{Valid: true, Addr: 0x40})
+	if b.Generations() != 1 || b.TotalGenerations() != 1 {
+		t.Fatalf("generations = %d/%d, want 1/1", b.Generations(), b.TotalGenerations())
+	}
+}
+
+// TestAuditorDetectsDivergence fabricates a timing-model event that lies
+// about the hit/miss outcome and checks the auditor catches it — the
+// audit mode's own failure path must work, or green audits mean nothing.
+func TestAuditorDetectsDivergence(t *testing.T) {
+	a := NewAuditor(Config{L1: cfg(1<<10, 1), L2: cfg(4<<10, 2)})
+
+	defer func() {
+		r := recover()
+		d, ok := r.(*Divergence)
+		if !ok {
+			t.Fatalf("expected *Divergence panic, got %v", r)
+		}
+		if d.Check != "hit/miss" {
+			t.Fatalf("check = %q, want hit/miss", d.Check)
+		}
+		if d.Error() == "" {
+			t.Fatal("empty divergence message")
+		}
+	}()
+	// A claimed hit on a cold cache can never be right.
+	a.AuditDemand(&fakeHitEvent, nil)
+	t.Fatal("auditor accepted an impossible hit")
+}
+
+func TestSummaryDigestIsOrderSensitive(t *testing.T) {
+	h1 := fnvMix(fnvMix(fnvOffset, 0x40, true), 0x80, false)
+	h2 := fnvMix(fnvMix(fnvOffset, 0x80, false), 0x40, true)
+	if h1 == h2 {
+		t.Fatal("digest must depend on reference order")
+	}
+}

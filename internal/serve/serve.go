@@ -75,7 +75,9 @@ func New(cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache = simcache.Default
 	}
-	if cfg.Base == (sim.Options{}) {
+	if cfg.Base.MeasureRefs == 0 {
+		// An unset base config (Options is not comparable): no run can
+		// have MeasureRefs == 0, so it marks the zero value.
 		cfg.Base = sim.Default()
 	}
 	reg := obs.NewRegistry()

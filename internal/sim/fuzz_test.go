@@ -1,0 +1,125 @@
+package sim_test
+
+// FuzzAuditedRun drives randomly shaped workloads and cache geometries
+// through a fully audited simulation. The oracle replays every reference in
+// lockstep, so any input the fuzzer finds where the timing model's
+// functional outcomes drift from a from-scratch LRU re-implementation — or
+// where the timekeeping identities break — fails immediately with the
+// divergent reference pinpointed. CI runs this as a short smoke
+// (-fuzztime=30s); longer local runs just need `go test -fuzz`.
+
+import (
+	"testing"
+
+	"timekeeping/internal/cache"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+)
+
+// fuzzL1Geometries are the L1 shapes the fuzzer cycles through. All keep
+// BlockBytes <= the L2's 64B blocks, which the hierarchy requires.
+var fuzzL1Geometries = []cache.Config{
+	{Name: "L1D", Bytes: 32 << 10, BlockBytes: 32, Ways: 1},
+	{Name: "L1D", Bytes: 8 << 10, BlockBytes: 32, Ways: 2},
+	{Name: "L1D", Bytes: 16 << 10, BlockBytes: 64, Ways: 4},
+	{Name: "L1D", Bytes: 4 << 10, BlockBytes: 32, Ways: 1},
+	{Name: "L1D", Bytes: 64 << 10, BlockBytes: 64, Ways: 2},
+}
+
+// fuzzComponent maps two unconstrained fuzz words onto a valid workload
+// component, so every generated Spec passes Validate by construction.
+func fuzzComponent(kind, n uint64) workload.ComponentSpec {
+	c := workload.ComponentSpec{
+		Weight:  1 + int(kind%3),
+		Base:    (kind % 4) << 24,
+		GapMean: float64(n % 5),
+		PCVar:   float64(kind%4) / 8,
+		DepFrac: float64(n%4) / 8,
+	}
+	sz := 256 + n%(1<<16)
+	switch kind % 5 {
+	case 0:
+		c.Kind = workload.PatSeq
+		c.Bytes = sz
+		c.Stride = 8 << (n % 3)
+	case 1:
+		c.Kind = workload.PatTriad
+		c.Bytes = sz
+	case 2:
+		c.Kind = workload.PatRand
+		c.Bytes = sz
+		c.RunLen = int(n % 6)
+	case 3:
+		c.Kind = workload.PatChase
+		c.Nodes = 2 + int(n%4096)
+		c.NodeSize = 32 << (n % 2)
+		c.Touches = 1 + int(n%3)
+	case 4:
+		c.Kind = workload.PatConflict
+		c.Ways = 2 + int(n%3)
+		c.Sets = 1 + int(n%64)
+		c.PerSet = 2 + int(n%12)
+		c.CacheBytes = 32 << 10
+		c.WayPool = c.Ways + int(n%4) // >= Ways, so always valid
+		c.RandomSets = n%2 == 1
+	}
+	return c
+}
+
+func FuzzAuditedRun(f *testing.F) {
+	// One seed per mechanism bit-pattern plus a few geometry/pattern mixes.
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(512), uint64(3), uint64(100))
+	f.Add(uint64(2), uint64(1), uint64(4), uint64(7), uint64(2), uint64(9000))
+	f.Add(uint64(3), uint64(2), uint64(3), uint64(64), uint64(1), uint64(40))
+	f.Add(uint64(7), uint64(9), uint64(2), uint64(31), uint64(4), uint64(5))
+	f.Add(uint64(11), uint64(4), uint64(1), uint64(123), uint64(0), uint64(77))
+
+	f.Fuzz(func(t *testing.T, seed, mech, kind1, n1, kind2, n2 uint64) {
+		spec := workload.Spec{
+			Name: "fuzz",
+			Seed: seed,
+			Components: []workload.ComponentSpec{
+				fuzzComponent(kind1, n1),
+				fuzzComponent(kind2, n2),
+			},
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("fuzzComponent built an invalid spec: %v", err)
+		}
+
+		opt := sim.Default()
+		opt.Hier.L1 = fuzzL1Geometries[mech%uint64(len(fuzzL1Geometries))]
+		opt.WarmupRefs = 1_000
+		opt.MeasureRefs = 8_000
+		opt.Audit = true
+		opt.Track = true
+		switch (mech / 8) % 4 {
+		case 1:
+			opt.Prefetcher = sim.PrefetchTK
+		case 2:
+			opt.Prefetcher = sim.PrefetchNextLine
+		case 3:
+			opt.Prefetcher = sim.PrefetchDBCP
+		}
+		if mech&32 != 0 {
+			opt.VictimFilter = sim.VictimDecay
+		}
+		if mech&64 != 0 {
+			opt.DecayIntervals = []uint64{1 << 12, 1 << 14}
+		}
+		if mech&128 != 0 {
+			opt.Hier.PerfectL1 = true
+		}
+
+		res, err := sim.Run(spec, opt)
+		if err != nil {
+			t.Fatalf("audited run diverged: %v", err)
+		}
+		if res.Audit == nil {
+			t.Fatal("audited run returned no audit summary")
+		}
+		if res.Audit.Refs != opt.WarmupRefs+opt.MeasureRefs {
+			t.Fatalf("audited %d refs, want %d", res.Audit.Refs, opt.WarmupRefs+opt.MeasureRefs)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"timekeeping/internal/sim"
+)
+
+func TestParseVictimFilter(t *testing.T) {
+	// "" means off; every listed value parses to itself.
+	if v, err := sim.ParseVictimFilter(""); err != nil || v != sim.VictimOff {
+		t.Fatalf(`ParseVictimFilter("") = %q, %v; want off, nil`, v, err)
+	}
+	for _, want := range sim.VictimFilters() {
+		got, err := sim.ParseVictimFilter(string(want))
+		if err != nil || got != want {
+			t.Errorf("ParseVictimFilter(%q) = %q, %v; want %q, nil", want, got, err, want)
+		}
+	}
+}
+
+func TestParsePrefetcher(t *testing.T) {
+	if p, err := sim.ParsePrefetcher(""); err != nil || p != sim.PrefetchOff {
+		t.Fatalf(`ParsePrefetcher("") = %q, %v; want off, nil`, p, err)
+	}
+	for _, want := range sim.Prefetchers() {
+		got, err := sim.ParsePrefetcher(string(want))
+		if err != nil || got != want {
+			t.Errorf("ParsePrefetcher(%q) = %q, %v; want %q, nil", want, got, err, want)
+		}
+	}
+}
+
+func TestParseRejectsUnknownValues(t *testing.T) {
+	cases := []struct {
+		kind  string
+		parse func(string) error
+		count int
+	}{
+		{"victim filter", func(s string) error { _, err := sim.ParseVictimFilter(s); return err }, len(sim.VictimFilters())},
+		{"prefetcher", func(s string) error { _, err := sim.ParsePrefetcher(s); return err }, len(sim.Prefetchers())},
+	}
+	for _, c := range cases {
+		for _, bad := range []string{"bogus", "Decay", "none ", "off"} {
+			err := c.parse(bad)
+			if err == nil {
+				t.Errorf("%s: %q accepted, want rejection", c.kind, bad)
+				continue
+			}
+			var uv *sim.UnknownValueError
+			if !errors.As(err, &uv) {
+				t.Errorf("%s: %q returned %T, want *UnknownValueError", c.kind, bad, err)
+				continue
+			}
+			if uv.Kind != c.kind || uv.Value != bad {
+				t.Errorf("%s: error = %+v, want Kind=%q Value=%q", c.kind, uv, c.kind, bad)
+			}
+			if len(uv.Accepted) != c.count {
+				t.Errorf("%s: error lists %d accepted values, want %d", c.kind, len(uv.Accepted), c.count)
+			}
+			// The message must guide the user to every valid spelling.
+			for _, a := range uv.Accepted {
+				if !strings.Contains(err.Error(), a) {
+					t.Errorf("%s: message %q does not mention accepted value %q", c.kind, err, a)
+				}
+			}
+		}
+	}
+}

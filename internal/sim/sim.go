@@ -7,12 +7,15 @@ package sim
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 
 	"timekeeping/internal/core"
 	"timekeeping/internal/cpu"
+	"timekeeping/internal/decay"
 	"timekeeping/internal/hier"
 	"timekeeping/internal/obs"
+	"timekeeping/internal/oracle"
 	"timekeeping/internal/prefetch"
 	"timekeeping/internal/trace"
 	"timekeeping/internal/victim"
@@ -130,6 +133,19 @@ type Options struct {
 	// predictor experiments; costs some simulation speed).
 	Track bool
 
+	// Audit replays every reference through the functional oracle in
+	// lockstep (internal/oracle) and fails the run at the first
+	// divergence in hit/miss classification, eviction choice, or
+	// timekeeping invariants. Roughly doubles simulation cost. The
+	// TK_AUDIT environment variable (any non-empty value) forces audit
+	// mode on for every run in the process.
+	Audit bool
+
+	// DecayIntervals, when non-empty, attaches a cache-decay evaluation
+	// (internal/decay) over the whole run; Result.Decay reports one entry
+	// per interval.
+	DecayIntervals []uint64
+
 	// DropSWPrefetch removes compiler software prefetches from the
 	// reference stream (the paper's Section 5 sensitivity experiment).
 	DropSWPrefetch bool
@@ -172,6 +188,13 @@ type Result struct {
 
 	Victim  *victim.Stats
 	Tracker *core.Metrics
+
+	// Decay holds the cache-decay evaluation (nil unless DecayIntervals
+	// was set); it covers the whole run, warm-up included.
+	Decay []decay.Result
+
+	// Audit summarises the lockstep verification (nil unless audited).
+	Audit *oracle.Summary
 
 	// Prefetch outputs (nil unless a prefetcher was attached).
 	PFTimeliness *prefetch.Timeliness
@@ -291,6 +314,30 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		h.AddObserver(tracker)
 	}
 
+	var dec *decay.Sim
+	if len(opt.DecayIntervals) > 0 {
+		dec = decay.New(h.L1().NumFrames(), opt.DecayIntervals)
+		h.AddObserver(dec)
+	}
+
+	var aud *oracle.Auditor
+	if opt.Audit || auditForced() {
+		// The tracker and decay cross-checks are frame-keyed on the real
+		// side and block-keyed on the oracle side; the two agree only
+		// while no prefetcher swaps frame contents behind the observers'
+		// backs, so those comparisons gate on PrefetchOff. The lockstep
+		// contents checks are always on.
+		aud = oracle.NewAuditor(oracle.Config{
+			L1:             opt.Hier.L1,
+			L2:             opt.Hier.L2,
+			PerfectL1:      opt.Hier.PerfectL1,
+			DecayIntervals: opt.DecayIntervals,
+			CompareTracker: opt.Track && opt.Prefetcher == PrefetchOff,
+			CompareDecay:   opt.Prefetcher == PrefetchOff,
+		})
+		h.SetAuditor(aud)
+	}
+
 	if opt.DropSWPrefetch {
 		stream = &trace.DropSWPrefetch{S: stream}
 	}
@@ -302,7 +349,7 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	// handle.
 	opt.Progress.Begin(obs.PhaseWarmup, opt.WarmupRefs+opt.MeasureRefs)
 	m.SetProgress(opt.Progress)
-	warm, err := m.RunContext(ctx, stream, opt.WarmupRefs)
+	warm, err := runPhase(ctx, m, stream, opt.WarmupRefs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -324,9 +371,12 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	if tracker != nil {
 		tracker.Reset()
 	}
+	if aud != nil {
+		aud.ResetStats()
+	}
 
 	opt.Progress.SetPhase(obs.PhaseMeasure)
-	final, err := m.RunContext(ctx, stream, opt.MeasureRefs)
+	final, err := runPhase(ctx, m, stream, opt.MeasureRefs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -343,6 +393,19 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	}
 	if tracker != nil {
 		res.Tracker = tracker.Metrics()
+	}
+	if dec != nil {
+		res.Decay = dec.Results()
+	}
+	if aud != nil {
+		var tm *core.Metrics
+		if tracker != nil {
+			tm = tracker.Metrics()
+		}
+		if err := aud.Finish(tm, res.Decay); err != nil {
+			return Result{}, err
+		}
+		res.Audit = aud.Summary()
 	}
 	if tk != nil {
 		tl := tk.Timeliness()
@@ -362,6 +425,26 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		res.PFIssued = nl.Issued()
 	}
 	return res, nil
+}
+
+// auditForced reports whether the TK_AUDIT environment variable turns
+// audit mode on for every run in the process (the CI lockstep leg).
+func auditForced() bool { return os.Getenv("TK_AUDIT") != "" }
+
+// runPhase drives one simulation window, converting an oracle divergence
+// panic into an ordinary error: the auditor aborts the run at the exact
+// reference that diverged, and the hierarchy has no error path mid-access.
+func runPhase(ctx context.Context, m *cpu.Model, stream trace.Stream, n uint64) (res cpu.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if d, ok := r.(*oracle.Divergence); ok {
+				res, err = m.Snapshot(), d
+				return
+			}
+			panic(r)
+		}
+	}()
+	return m.RunContext(ctx, stream, n)
 }
 
 // MustRun is Run for known-good options; it panics on error.

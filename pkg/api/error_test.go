@@ -1,0 +1,109 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// allCodes is every stable code the wire contract defines. A new code must
+// be added here (and to the doc comment) when introduced.
+var allCodes = []ErrorCode{
+	CodeBadRequest,
+	CodeUnknownBench,
+	CodeUnknownFilter,
+	CodeQueueFull,
+	CodeNotFound,
+	CodeCanceled,
+	CodeDraining,
+	CodeInternal,
+}
+
+// TestErrorEnvelopeRoundTrip: every error code survives a marshal/unmarshal
+// cycle through the envelope wire shape with its message and accepted list
+// intact, and HTTPStatus stays client-side only.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	for _, code := range allCodes {
+		in := ErrorEnvelope{Err: &Error{
+			Code:       code,
+			Message:    "what went wrong with " + string(code),
+			Accepted:   []string{"none", "collins", "decay"},
+			HTTPStatus: 418,
+		}}
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", code, err)
+		}
+		if !strings.Contains(string(b), `"error":{`) {
+			t.Fatalf("%s: envelope missing error wrapper: %s", code, b)
+		}
+		if strings.Contains(string(b), "418") || strings.Contains(string(b), "HTTPStatus") {
+			t.Errorf("%s: HTTPStatus leaked onto the wire: %s", code, b)
+		}
+
+		var out ErrorEnvelope
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("%s: unmarshal: %v", code, err)
+		}
+		if out.Err == nil {
+			t.Fatalf("%s: envelope decoded with nil error", code)
+		}
+		if out.Err.Code != code || out.Err.Message != in.Err.Message {
+			t.Errorf("%s: round-tripped to %+v", code, out.Err)
+		}
+		if len(out.Err.Accepted) != 3 || out.Err.Accepted[0] != "none" {
+			t.Errorf("%s: accepted list round-tripped to %v", code, out.Err.Accepted)
+		}
+		if out.Err.HTTPStatus != 0 {
+			t.Errorf("%s: HTTPStatus %d decoded from wire, want 0", code, out.Err.HTTPStatus)
+		}
+	}
+}
+
+// TestErrorCodesAreUniqueAndStable guards the literal wire values: renaming
+// a constant is fine, changing its string is a breaking protocol change.
+func TestErrorCodesAreUniqueAndStable(t *testing.T) {
+	want := map[ErrorCode]string{
+		CodeBadRequest:    "bad_request",
+		CodeUnknownBench:  "unknown_bench",
+		CodeUnknownFilter: "unknown_filter",
+		CodeQueueFull:     "queue_full",
+		CodeNotFound:      "not_found",
+		CodeCanceled:      "canceled",
+		CodeDraining:      "draining",
+		CodeInternal:      "internal",
+	}
+	if len(want) != len(allCodes) {
+		t.Fatalf("allCodes has %d entries, want %d", len(allCodes), len(want))
+	}
+	seen := map[ErrorCode]bool{}
+	for _, c := range allCodes {
+		if seen[c] {
+			t.Errorf("duplicate code %q", c)
+		}
+		seen[c] = true
+		if string(c) != want[c] {
+			t.Errorf("code %q changed wire value (want %q)", c, want[c])
+		}
+	}
+}
+
+// TestErrorMessageFormatting covers the Go-error face of the wire error.
+func TestErrorMessageFormatting(t *testing.T) {
+	e := &Error{Code: CodeQueueFull, Message: "queue is full"}
+	if got := e.Error(); got != "queue_full: queue is full" {
+		t.Errorf("Error() = %q", got)
+	}
+	bare := &Error{Message: "plain"}
+	if got := bare.Error(); got != "plain" {
+		t.Errorf("codeless Error() = %q", got)
+	}
+	// An empty accepted list must be omitted, not serialized as null.
+	b, err := json.Marshal(&Error{Code: CodeNotFound, Message: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "accepted") {
+		t.Errorf("empty accepted list serialized: %s", b)
+	}
+}
