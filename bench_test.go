@@ -11,7 +11,10 @@ import (
 
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/golden"
+	"timekeeping/internal/sample"
+	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
+	"timekeeping/internal/workload"
 )
 
 // benchRunner returns a reduced-scale runner. Scale and subset are fixed
@@ -104,6 +107,64 @@ func BenchmarkFigure19(b *testing.B) { runExperiment(b, "fig19") }
 func BenchmarkFigure20(b *testing.B) { runExperiment(b, "fig20") }
 func BenchmarkFigure21(b *testing.B) { runExperiment(b, "fig21") }
 func BenchmarkFigure22(b *testing.B) { runExperiment(b, "fig22") }
+
+// BenchmarkSampledFigure1 is the sampled-mode smoke: the Figure 1 sweep at
+// the full default scale (where sampling pays off), every run statistical.
+// Each iteration checks the runs really sampled — estimates present with a
+// plausible window count.
+func BenchmarkSampledFigure1(b *testing.B) {
+	exp, err := experiments.ByID("fig1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.Opts = sim.Default() // full scale; sampling does the reduction
+		r.Sampling = sample.DefaultPolicy()
+		if tables := exp.Run(r); len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+		for _, bench := range r.Benches {
+			res := r.Result("base", bench)
+			if res.Estimate == nil || res.Estimate.Windows < 2 {
+				b.Fatalf("%s: not sampled: %+v", bench, res.Estimate)
+			}
+			if res.TotalRefs == 0 {
+				b.Fatalf("%s: no references simulated", bench)
+			}
+		}
+	}
+}
+
+// BenchmarkSampledSpeedup is the tentpole performance demonstration: the
+// same (bench, Options) pair exact vs sampled at the full default scale.
+// Compare the two sub-benchmarks' ns/op — the sampled run must be ≥3×
+// faster (TestSampledSpeedup enforces a CI-safe 2× floor).
+func BenchmarkSampledSpeedup(b *testing.B) {
+	spec := workload.MustProfile("facerec")
+	exact := golden.CorpusOptions()
+	sampled := golden.CorpusOptions()
+	sampled.Sampling = sample.DefaultPolicy()
+
+	b.Run("Exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(spec, exact); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Sampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(spec, sampled)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Estimate == nil {
+				b.Fatal("no estimate")
+			}
+		}
+	})
+}
 
 func BenchmarkAblateTableSize(b *testing.B)    { runExperiment(b, "ablate-table") }
 func BenchmarkAblateIndexSplit(b *testing.B)   { runExperiment(b, "ablate-mn") }

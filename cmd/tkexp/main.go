@@ -10,7 +10,9 @@
 // references and throughput across the sweep (disable with -progress=false).
 //
 // Flags scale the simulations (-warmup, -refs) and restrict the benchmark
-// set (-benches gcc,mcf,ammp).
+// set (-benches gcc,mcf,ammp). -sample trades exactness for speed: every
+// run uses statistical sampling (internal/sample) and the sweep resolves
+// through cache keys distinct from exact runs.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
+	"timekeeping/internal/sample"
 	"timekeeping/internal/workload"
 )
 
@@ -34,6 +37,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		progress = flag.Bool("progress", true, "print a live sweep progress line on stderr")
+		smp      = flag.Bool("sample", false, "run the sweep in statistical sampling mode (faster, estimates with CIs)")
+		smpCI    = flag.Float64("sample-ci", 0, "with -sample: per-run target relative CI half-width (e.g. 0.02)")
 	)
 	flag.Parse()
 
@@ -73,6 +78,11 @@ func main() {
 	}
 	if *seed > 0 {
 		runner.Opts.Seed = *seed
+	}
+	if *smp || *smpCI > 0 {
+		pol := sample.DefaultPolicy()
+		pol.TargetRelCI = *smpCI
+		runner.Sampling = pol
 	}
 	if *benches != "" {
 		var bs []string

@@ -3,13 +3,16 @@
 // baseline configuration, plus the reduced-scale set the benchmark smoke
 // verifies.
 //
-// Default mode recomputes every entry and reports drift against the stored
-// corpus (exit 1 on any). -update rewrites the corpus — the only
-// sanctioned way to change it; review the diff like any other code change.
+// Default mode (also spelled -verify) recomputes every entry and reports
+// drift against the stored corpus — every drifted entry with every
+// differing stat, not just the first mismatch — and exits 1 on any.
+// -update rewrites the corpus — the only sanctioned way to change it;
+// review the diff like any other code change.
 //
 // Usage:
 //
 //	go run ./cmd/tkgold            # verify
+//	go run ./cmd/tkgold -verify    # same, explicit
 //	go run ./cmd/tkgold -update    # regenerate after an intentional change
 //	go run ./cmd/tkgold -only mcf  # restrict to one benchmark
 package main
@@ -17,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"timekeeping/internal/golden"
@@ -24,62 +28,84 @@ import (
 )
 
 func main() {
-	update := flag.Bool("update", false, "rewrite the corpus instead of verifying it")
-	only := flag.String("only", "", "restrict to one benchmark (full-scale corpus only)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process edges injected, so tests can drive the
+// corruption / drift paths and assert on the exit code and output.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("tkgold", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	update := fs.Bool("update", false, "rewrite the corpus instead of verifying it")
+	verify := fs.Bool("verify", false, "verify the corpus (the default; explicit form for scripts)")
+	only := fs.String("only", "", "restrict to one benchmark (full-scale corpus only)")
+	dir := fs.String("dir", golden.Dir(), "corpus directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *update && *verify {
+		fmt.Fprintln(errOut, "tkgold: -update and -verify are mutually exclusive")
+		return 2
+	}
 
 	benches := workload.Names()
 	if *only != "" {
 		benches = []string{*only}
 	}
 
-	drift := 0
+	var drifted []string
 	opt := golden.CorpusOptions()
 	for _, b := range benches {
 		e, err := golden.Compute(b, opt)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(errOut, "tkgold:", err)
+			return 1
 		}
 		if *update {
 			if err := golden.Save(e); err != nil {
-				fatal(err)
+				fmt.Fprintln(errOut, "tkgold:", err)
+				return 1
 			}
-			fmt.Printf("wrote %s\n", golden.Path(b))
+			fmt.Fprintf(out, "wrote %s\n", golden.Path(b))
 			continue
 		}
-		want, err := golden.Load(b)
+		want, err := golden.LoadFrom(*dir, b)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w (run with -update to create the corpus)", b, err))
+			fmt.Fprintf(errOut, "tkgold: %s: %v (run with -update to create the corpus)\n", b, err)
+			return 1
 		}
 		if d := golden.Diff(e, want); d != "" {
-			fmt.Printf("DRIFT %s: %s\n", b, d)
-			drift++
+			fmt.Fprintf(out, "DRIFT %s: %s\n", b, d)
+			drifted = append(drifted, b)
 		} else {
-			fmt.Printf("ok    %s\n", b)
+			fmt.Fprintf(out, "ok    %s\n", b)
 		}
 	}
 
 	if *only == "" {
-		if err := benchCorpus(*update); err != nil {
+		if err := benchCorpus(*update, *dir, out); err != nil {
 			if *update {
-				fatal(err)
+				fmt.Fprintln(errOut, "tkgold:", err)
+				return 1
 			}
-			fmt.Printf("DRIFT bench_fig1: %v\n", err)
-			drift++
+			fmt.Fprintf(out, "DRIFT bench_fig1: %v\n", err)
+			drifted = append(drifted, "bench_fig1")
 		} else if !*update {
-			fmt.Println("ok    bench_fig1")
+			fmt.Fprintln(out, "ok    bench_fig1")
 		}
 	}
 
-	if drift > 0 {
-		fmt.Printf("%d entries drifted; regenerate with `go run ./cmd/tkgold -update` if intentional\n", drift)
-		os.Exit(1)
+	if len(drifted) > 0 {
+		fmt.Fprintf(out, "%d entries drifted (%v); regenerate with `go run ./cmd/tkgold -update` if intentional\n",
+			len(drifted), drifted)
+		return 1
 	}
+	return 0
 }
 
 // benchCorpus maintains bench_fig1.json: the benchmark-smoke subset at the
 // reduced scale bench_test.go runs.
-func benchCorpus(update bool) error {
+func benchCorpus(update bool, dir string, out io.Writer) error {
 	subset := []string{"eon", "twolf", "vpr", "ammp", "swim", "mcf", "facerec", "gcc"}
 	opt := golden.BenchScaleOptions()
 	var entries []golden.Entry
@@ -94,10 +120,10 @@ func benchCorpus(update bool) error {
 		if err := golden.SaveBench(entries); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", golden.BenchPath())
+		fmt.Fprintf(out, "wrote %s\n", golden.BenchPath())
 		return nil
 	}
-	want, err := golden.LoadBench()
+	want, err := golden.LoadBenchFrom(dir)
 	if err != nil {
 		return fmt.Errorf("%w (run with -update to create the corpus)", err)
 	}
@@ -110,9 +136,4 @@ func benchCorpus(update bool) error {
 		}
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tkgold:", err)
-	os.Exit(1)
 }

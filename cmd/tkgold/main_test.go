@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"timekeeping/internal/golden"
+)
+
+// TestVerifyDetectsCorruption corrupts one stored field in a corpus copy
+// and checks the verifier exits non-zero with a drift message naming the
+// benchmark and the moved stat.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale recompute in -short mode")
+	}
+	const bench = "mcf"
+	e, err := golden.Load(bench)
+	if err != nil {
+		t.Fatalf("loading pristine entry: %v", err)
+	}
+
+	dir := t.TempDir()
+	e.CPU.Cycles += 1000 // the corruption: one drifted stat
+	e.Hier.Misses += 7   // and a second, to see multi-line drift output
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, bench+".json"), append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-verify", "-only", bench, "-dir", dir}, &out, &errOut)
+	if code == 0 {
+		t.Fatalf("corrupted corpus verified clean:\n%s", out.String())
+	}
+	msg := out.String()
+	if !strings.Contains(msg, "DRIFT "+bench) {
+		t.Errorf("drift output does not name the benchmark:\n%s", msg)
+	}
+	// Both corrupted fields must be reported, not just the first.
+	if !strings.Contains(msg, "Cycles") || !strings.Contains(msg, "Misses") {
+		t.Errorf("drift output missing a corrupted field:\n%s", msg)
+	}
+	if !strings.Contains(msg, "1 entries drifted") {
+		t.Errorf("missing summary line:\n%s", msg)
+	}
+}
+
+// TestVerifyCleanCorpus checks the pristine corpus verifies with exit 0.
+func TestVerifyCleanCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale recompute in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-only", "mcf"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("clean verify exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok    mcf") {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestUpdateVerifyExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-update", "-verify"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -7,6 +7,7 @@
 //	tksim -bench mcf
 //	tksim -bench twolf -victim decay
 //	tksim -bench ammp -prefetch timekeeping
+//	tksim -bench gcc -sample     # statistical sampling with 95% CIs
 //	tksim -list                  # print the benchmark suite
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/trace"
 	"timekeeping/internal/workload"
@@ -33,6 +35,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		track    = flag.Bool("track", true, "attach the timekeeping tracker")
 		dropSWPF = flag.Bool("drop-swprefetch", false, "ignore compiler software prefetches")
+		smp      = flag.Bool("sample", false, "statistical sampling: alternate functional warming with detailed windows, report 95% CIs")
+		smpCI    = flag.Float64("sample-ci", 0, "with -sample: keep sampling until the IPC estimate's relative CI half-width is at most this (e.g. 0.02)")
 	)
 	flag.Parse()
 
@@ -68,6 +72,11 @@ func main() {
 	if *seed > 0 {
 		opt.Seed = *seed
 	}
+	if *smp || *smpCI > 0 {
+		pol := sample.DefaultPolicy()
+		pol.TargetRelCI = *smpCI
+		opt.Sampling = pol
+	}
 
 	var res sim.Result
 	if *traceIn != "" {
@@ -101,6 +110,20 @@ func main() {
 	}
 
 	fmt.Printf("bench        %s\n", res.Bench)
+	if e := res.Estimate; e != nil {
+		fmt.Printf("sampled      %d windows (detailed %d refs, functionally warmed %d)\n",
+			e.Windows, e.DetailedRefs, e.WarmRefs)
+		fmt.Printf("IPC          %.4f ± %.4f (95%% CI [%.4f, %.4f])\n",
+			e.IPC.Mean, e.IPC.CIHigh-e.IPC.Mean, e.IPC.CILow, e.IPC.CIHigh)
+		fmt.Printf("L1 miss rate %.4f%% ± %.4f%%\n",
+			100*e.L1MissRate.Mean, 100*(e.L1MissRate.CIHigh-e.L1MissRate.Mean))
+		fmt.Printf("L2 miss rate %.4f%% ± %.4f%%\n",
+			100*e.L2MissRate.Mean, 100*(e.L2MissRate.CIHigh-e.L2MissRate.Mean))
+		if e.Policy.TargetRelCI > 0 {
+			fmt.Printf("target CI    ±%.1f%%: met=%v\n", 100*e.Policy.TargetRelCI, e.TargetMet)
+		}
+		fmt.Println("-- pooled detailed-window counters --")
+	}
 	fmt.Printf("IPC          %.4f\n", res.CPU.IPC)
 	fmt.Printf("instructions %d\n", res.CPU.Insts)
 	fmt.Printf("cycles       %d\n", res.CPU.Cycles)

@@ -26,6 +26,10 @@ const (
 	Conflict
 	// Capacity misses even in the fully-associative cache.
 	Capacity
+	// Unclassified is a non-cold miss observed on a path that does not
+	// maintain the shadow cache (functional warming), so the
+	// conflict-vs-capacity question has no answer.
+	Unclassified
 )
 
 // String returns the kind's name.
@@ -39,6 +43,8 @@ func (k MissKind) String() string {
 		return "conflict"
 	case Capacity:
 		return "capacity"
+	case Unclassified:
+		return "unclassified"
 	default:
 		return "invalid"
 	}
@@ -91,6 +97,21 @@ func (c *Classifier) Access(block uint64) MissKind {
 	}
 	c.insert(block)
 	return kind
+}
+
+// Warm marks the block as seen without touching the shadow cache, and
+// reports whether it was cold (never referenced before). This is the
+// cut-price path functional warming (internal/sample) uses on L1 misses:
+// the cold/not-cold verdict stays exact — the seen set is append-only and
+// every block's first touch is an L1 miss — while the shadow cache's LRU
+// order goes stale, so conflict-vs-capacity splits in the detailed
+// windows right after a warming phase are approximate.
+func (c *Classifier) Warm(block uint64) (cold bool) {
+	if _, ok := c.seen[block]; ok {
+		return false
+	}
+	c.seen[block] = struct{}{}
+	return true
 }
 
 // Contains reports whether the shadow cache currently holds the block.

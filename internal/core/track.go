@@ -204,6 +204,13 @@ type Tracker struct {
 	frames []frameGen
 	blocks map[uint64]*blockHist
 
+	// quiet suppresses metric accumulation (histograms and tallies) while
+	// all per-frame and per-block generation state keeps advancing — the
+	// functional-warming mode of internal/sample, where the counter
+	// hardware must stay warm but only detailed windows may contribute
+	// statistics. Zero value: recording on.
+	quiet bool
+
 	// OnGeneration, when non-nil, is invoked for every completed
 	// generation (used by tests and custom analyses).
 	OnGeneration func(Generation)
@@ -226,13 +233,21 @@ func (t *Tracker) Metrics() *Metrics { return t.m }
 // generation in progress.
 func (t *Tracker) Reset() { t.m = NewMetrics() }
 
+// SetRecording toggles metric accumulation. With recording off the
+// tracker still advances every per-frame and per-block generation state
+// but adds nothing to histograms or predictor tallies; sampled runs turn
+// recording on only inside detailed measurement windows.
+func (t *Tracker) SetRecording(on bool) { t.quiet = !on }
+
 // OnAccess implements hier.Observer.
 func (t *Tracker) OnAccess(ev *hier.AccessEvent) {
 	f := &t.frames[ev.Frame]
 	if ev.Hit {
 		if f.valid {
 			ai := sub(ev.Now, f.lastAccess)
-			t.m.AccInt.Add(ai)
+			if !t.quiet {
+				t.m.AccInt.Add(ai)
+			}
 			if ai > f.maxAI {
 				f.maxAI = ai
 			}
@@ -259,20 +274,22 @@ func (t *Tracker) OnAccess(ev *hier.AccessEvent) {
 		bh = &blockHist{}
 		t.blocks[ev.Block] = bh
 	}
-	if bh.lastStart > 0 && ev.Now > bh.lastStart {
-		reload := sub(ev.Now, bh.lastStart)
-		t.m.Reload.Add(reload)
-		if h, ok := t.m.ReloadByKind[ev.MissKind]; ok {
-			h.Add(reload)
+	if !t.quiet {
+		if bh.lastStart > 0 && ev.Now > bh.lastStart {
+			reload := sub(ev.Now, bh.lastStart)
+			t.m.Reload.Add(reload)
+			if h, ok := t.m.ReloadByKind[ev.MissKind]; ok {
+				h.Add(reload)
+			}
 		}
-	}
-	if bh.hasGen && (ev.MissKind == classify.Conflict || ev.MissKind == classify.Capacity) {
-		if h, ok := t.m.DeadByKind[ev.MissKind]; ok {
-			h.Add(bh.prevDead)
+		if bh.hasGen && (ev.MissKind == classify.Conflict || ev.MissKind == classify.Capacity) {
+			if h, ok := t.m.DeadByKind[ev.MissKind]; ok {
+				h.Add(bh.prevDead)
+			}
+			// Zero-live-time conflict predictor: predict conflict when the
+			// previous generation was never hit.
+			t.m.ZeroLive.Record(bh.prevZero, bh.prevZero && ev.MissKind == classify.Conflict)
 		}
-		// Zero-live-time conflict predictor: predict conflict when the
-		// previous generation was never hit.
-		t.m.ZeroLive.Record(bh.prevZero, bh.prevZero && ev.MissKind == classify.Conflict)
 	}
 	bh.lastStart = ev.Now
 
@@ -295,20 +312,23 @@ func (t *Tracker) endGeneration(f *frameGen, now uint64) {
 		gen.LiveTime = 0
 		gen.DeadTime = sub(now, f.startAt)
 	}
-	t.m.Generations++
-	t.m.Live.Add(gen.LiveTime)
-	t.m.Dead.Add(gen.DeadTime)
+	if !t.quiet {
+		t.m.Generations++
+		t.m.Live.Add(gen.LiveTime)
+		t.m.Dead.Add(gen.DeadTime)
 
-	// Decay dead-block predictor (Figure 14): the first idle period
-	// longer than the threshold triggers a prediction; it is correct only
-	// if that idle period was the dead time (no access interval beat it).
-	for i, th := range DecayThresholds {
-		switch {
-		case gen.MaxAI > th:
-			t.m.decay[i].made++
-		case gen.DeadTime > th:
-			t.m.decay[i].made++
-			t.m.decay[i].correct++
+		// Decay dead-block predictor (Figure 14): the first idle period
+		// longer than the threshold triggers a prediction; it is correct
+		// only if that idle period was the dead time (no access interval
+		// beat it).
+		for i, th := range DecayThresholds {
+			switch {
+			case gen.MaxAI > th:
+				t.m.decay[i].made++
+			case gen.DeadTime > th:
+				t.m.decay[i].made++
+				t.m.decay[i].correct++
+			}
 		}
 	}
 
@@ -318,16 +338,18 @@ func (t *Tracker) endGeneration(f *frameGen, now uint64) {
 		bh = &blockHist{}
 		t.blocks[gen.Block] = bh
 	}
-	qlt := gen.LiveTime &^ (LiveTimeResolution - 1)
-	if bh.hasLive {
-		t.m.LiveDiff.Add(gen.LiveTime, bh.prevLive)
-		t.m.LiveRatio.Add(qlt, bh.prevLive&^(LiveTimeResolution-1))
-		predictAt := LiveTimeScale * bh.prevLive
-		made := gen.GenTime() > predictAt
-		correct := made && gen.LiveTime <= predictAt
-		t.m.LivePred.Record(made, correct)
-	} else {
-		t.m.LivePred.Events++
+	if !t.quiet {
+		qlt := gen.LiveTime &^ (LiveTimeResolution - 1)
+		if bh.hasLive {
+			t.m.LiveDiff.Add(gen.LiveTime, bh.prevLive)
+			t.m.LiveRatio.Add(qlt, bh.prevLive&^(LiveTimeResolution-1))
+			predictAt := LiveTimeScale * bh.prevLive
+			made := gen.GenTime() > predictAt
+			correct := made && gen.LiveTime <= predictAt
+			t.m.LivePred.Record(made, correct)
+		} else {
+			t.m.LivePred.Events++
+		}
 	}
 	bh.prevLive = gen.LiveTime
 	bh.hasLive = true

@@ -221,6 +221,76 @@ func (m *Model) Step(r *trace.Ref) (issueCycle uint64) {
 	return issueCycle
 }
 
+// FunctionalMemSystem is implemented by memory systems that offer a
+// contents-only access path for functional warming (internal/hier does).
+// AccessFunctional must update cache/predictor state for the reference as
+// of cycle now but perform no timing simulation.
+type FunctionalMemSystem interface {
+	AccessFunctional(r trace.Ref, now uint64)
+}
+
+// StepFunctional processes one reference through the functional-warming
+// path: the OoO window, dependence and latency machinery are bypassed and
+// the clock advances at the fixed nominal rate of subPerInst subcycles
+// per instruction, so warmed timekeeping state (dead times, decay
+// intervals) sees time pass at roughly the detailed execution rate. The
+// retirement ring is still maintained, which keeps a later Step's window
+// constraint consistent.
+func (m *Model) StepFunctional(r *trace.Ref, fmem FunctionalMemSystem, subPerInst uint64) {
+	gap := uint64(r.Gap)
+	m.idx += gap + 1
+	adv := (gap + 1) * subPerInst
+	m.fetchSub += adv
+	m.retireSub += adv
+	fmem.AccessFunctional(*r, m.retireSub/m.sub)
+	m.record(m.idx, m.retireSub)
+}
+
+// RunFunctional drives up to maxRefs references through the functional
+// path at a nominal rate of cpi cycles per instruction (0 = 1.0),
+// returning the cumulative snapshot. If the memory system does not
+// implement FunctionalMemSystem it falls back to detailed execution.
+func (m *Model) RunFunctional(ctx context.Context, s trace.Stream, maxRefs uint64, cpi float64) (Result, error) {
+	fmem, ok := m.mem.(FunctionalMemSystem)
+	if !ok {
+		return m.RunContext(ctx, s, maxRefs)
+	}
+	if cpi <= 0 {
+		cpi = 1
+	}
+	subPerInst := uint64(cpi*float64(m.sub) + 0.5)
+	if subPerInst == 0 {
+		subPerInst = 1
+	}
+	var done, reported uint64
+	defer func() {
+		m.prog.Add(done - reported)
+	}()
+	var r trace.Ref
+	for done < maxRefs {
+		if done%ctxCheckRefs == 0 {
+			m.prog.Add(done - reported)
+			reported = done
+			if err := ctx.Err(); err != nil {
+				return m.Snapshot(), err
+			}
+		}
+		if !s.Next(&r) {
+			break
+		}
+		m.StepFunctional(&r, fmem, subPerInst)
+		done++
+		m.refs++
+		switch r.Kind {
+		case trace.Load:
+			m.loads++
+		case trace.Store:
+			m.stores++
+		}
+	}
+	return m.Snapshot(), nil
+}
+
 // Run drives up to maxRefs references from the stream (or until it ends)
 // and returns the cumulative execution summary (see Result).
 func (m *Model) Run(s trace.Stream, maxRefs uint64) Result {

@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"context"
+	"testing"
+
+	"timekeeping/internal/trace"
+)
+
+// funcMem implements both access paths and records what each one saw.
+type funcMem struct {
+	lat        uint64
+	detailed   int
+	functional int
+	nows       []uint64 // cycle stamps the functional path reported
+}
+
+func (f *funcMem) Access(r trace.Ref, issueAt uint64) uint64 {
+	f.detailed++
+	return issueAt + f.lat
+}
+
+func (f *funcMem) AccessFunctional(r trace.Ref, now uint64) {
+	f.functional++
+	f.nows = append(f.nows, now)
+}
+
+func TestRunFunctionalNominalClock(t *testing.T) {
+	mem := &funcMem{lat: 100}
+	m := New(DefaultConfig(), mem)
+	const n = 1000
+	res, err := m.RunFunctional(context.Background(), &trace.SliceStream{Refs: refs(n, 3, false)}, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.functional != n || mem.detailed != 0 {
+		t.Fatalf("functional=%d detailed=%d, want %d/0", mem.functional, mem.detailed, n)
+	}
+	// At CPI 1 the clock advances one cycle per instruction: 4
+	// instructions per reference (gap 3 + the ref).
+	if res.Insts != 4*n || res.Cycles != 4*n {
+		t.Fatalf("insts=%d cycles=%d, want %d/%d", res.Insts, res.Cycles, 4*n, 4*n)
+	}
+	if res.IPC != 1 {
+		t.Fatalf("IPC = %v, want 1", res.IPC)
+	}
+	// The functional time stamps are nondecreasing and end at the final
+	// cycle count.
+	for i := 1; i < len(mem.nows); i++ {
+		if mem.nows[i] < mem.nows[i-1] {
+			t.Fatalf("functional clock went backwards at %d: %v -> %v", i, mem.nows[i-1], mem.nows[i])
+		}
+	}
+	if last := mem.nows[len(mem.nows)-1]; last != res.Cycles {
+		t.Fatalf("last functional stamp %d != cycles %d", last, res.Cycles)
+	}
+}
+
+func TestRunFunctionalCPIScalesClock(t *testing.T) {
+	mem := &funcMem{}
+	m := New(DefaultConfig(), mem)
+	const n = 500
+	res, err := m.RunFunctional(context.Background(), &trace.SliceStream{Refs: refs(n, 0, false)}, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2*n {
+		t.Fatalf("cycles = %d, want %d at CPI 2", res.Cycles, 2*n)
+	}
+}
+
+func TestRunFunctionalCountsKinds(t *testing.T) {
+	rs := []trace.Ref{
+		{Addr: 0, Kind: trace.Load},
+		{Addr: 64, Kind: trace.Store},
+		{Addr: 128, Kind: trace.SWPrefetch},
+		{Addr: 192, Kind: trace.Load},
+	}
+	mem := &funcMem{}
+	m := New(DefaultConfig(), mem)
+	res, err := m.RunFunctional(context.Background(), &trace.SliceStream{Refs: rs}, uint64(len(rs)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 4 || res.Loads != 2 || res.Stores != 1 {
+		t.Fatalf("refs=%d loads=%d stores=%d", res.Refs, res.Loads, res.Stores)
+	}
+}
+
+func TestRunFunctionalFallsBackToDetailed(t *testing.T) {
+	// fixedMem lacks AccessFunctional: RunFunctional must run the
+	// detailed path instead of silently skipping the memory system.
+	mem := &fixedMem{lat: 1}
+	m := New(DefaultConfig(), mem)
+	const n = 100
+	res, err := m.RunFunctional(context.Background(), &trace.SliceStream{Refs: refs(n, 0, false)}, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.accesses) != n {
+		t.Fatalf("detailed accesses = %d, want %d", len(mem.accesses), n)
+	}
+	if res.Refs != n {
+		t.Fatalf("refs = %d, want %d", res.Refs, n)
+	}
+}
+
+func TestFunctionalThenDetailedContinues(t *testing.T) {
+	// Alternating paths on one model: the detailed run picks up from the
+	// functional clock and the retirement ring stays consistent (no panic,
+	// monotonic counters) — the pattern the sampling engine drives.
+	mem := &funcMem{lat: 10}
+	m := New(DefaultConfig(), mem)
+	stream := &trace.SliceStream{Refs: refs(4000, 1, false)}
+	pre, err := m.RunFunctional(context.Background(), stream, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := m.RunContext(context.Background(), stream, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := post.Minus(pre)
+	if d.Refs != 1000 {
+		t.Fatalf("detailed window refs = %d, want 1000", d.Refs)
+	}
+	if d.Cycles == 0 || d.IPC <= 0 {
+		t.Fatalf("detailed window made no timing progress: %+v", d)
+	}
+	if mem.detailed != 1000 || mem.functional != 1000 {
+		t.Fatalf("path split detailed=%d functional=%d", mem.detailed, mem.functional)
+	}
+}
+
+func TestRunFunctionalCancel(t *testing.T) {
+	mem := &funcMem{}
+	m := New(DefaultConfig(), mem)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.RunFunctional(ctx, &trace.SliceStream{Refs: refs(10, 0, false)}, 10, 1)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"timekeeping/internal/core"
 	"timekeeping/internal/report"
+	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
 	"timekeeping/internal/workload"
@@ -59,6 +60,11 @@ type Runner struct {
 	// granularity; runs then panic with the context error (recovered by
 	// the serving layer).
 	Ctx context.Context
+	// Sampling, when non-nil, runs every configuration in statistical
+	// sampling mode (internal/sample): results carry Estimate confidence
+	// intervals, resolve through cache keys distinct from exact runs, and
+	// the sweep trades exactness for a several-fold wall-clock reduction.
+	Sampling *sample.Policy
 }
 
 // NewRunner returns a Runner at the default simulation scale over the full
@@ -94,6 +100,7 @@ func (r *Runner) options(config string) sim.Options {
 	}
 	opts := r.Opts
 	mutate(&opts)
+	opts.Sampling = r.Sampling
 	return opts
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"timekeeping/internal/core"
 	"timekeeping/internal/cpu"
@@ -116,11 +117,17 @@ func Dir() string {
 }
 
 // Path returns the benchmark's corpus file.
-func Path(bench string) string { return filepath.Join(Dir(), bench+".json") }
+func Path(bench string) string { return PathIn(Dir(), bench) }
+
+// PathIn is Path against an alternate corpus directory (tkgold's -dir).
+func PathIn(dir, bench string) string { return filepath.Join(dir, bench+".json") }
 
 // BenchPath returns the benchmark-smoke corpus file (the []Entry that
 // BenchmarkFigure1 verifies).
-func BenchPath() string { return filepath.Join(Dir(), "bench_fig1.json") }
+func BenchPath() string { return BenchPathIn(Dir()) }
+
+// BenchPathIn is BenchPath against an alternate corpus directory.
+func BenchPathIn(dir string) string { return filepath.Join(dir, "bench_fig1.json") }
 
 // Marshal renders the canonical on-disk form.
 func Marshal(v any) ([]byte, error) {
@@ -144,9 +151,13 @@ func Save(e Entry) error {
 }
 
 // Load reads a benchmark's stored entry.
-func Load(bench string) (Entry, error) {
+func Load(bench string) (Entry, error) { return LoadFrom(Dir(), bench) }
+
+// LoadFrom reads a benchmark's stored entry from an alternate corpus
+// directory.
+func LoadFrom(dir, bench string) (Entry, error) {
 	var e Entry
-	b, err := os.ReadFile(Path(bench))
+	b, err := os.ReadFile(PathIn(dir, bench))
 	if err != nil {
 		return e, err
 	}
@@ -155,9 +166,13 @@ func Load(bench string) (Entry, error) {
 }
 
 // LoadBench reads the benchmark-smoke corpus.
-func LoadBench() ([]Entry, error) {
+func LoadBench() ([]Entry, error) { return LoadBenchFrom(Dir()) }
+
+// LoadBenchFrom reads the benchmark-smoke corpus from an alternate corpus
+// directory.
+func LoadBenchFrom(dir string) ([]Entry, error) {
 	var es []Entry
-	b, err := os.ReadFile(BenchPath())
+	b, err := os.ReadFile(BenchPathIn(dir))
 	if err != nil {
 		return nil, err
 	}
@@ -195,8 +210,13 @@ func Diff(got, want Entry) string {
 	return describeDrift(gb, wb)
 }
 
-// describeDrift points at the first differing line of the two canonical
-// forms, so a failing regression test says which stat moved.
+// maxDriftLines caps how many differing lines describeDrift enumerates
+// per entry.
+const maxDriftLines = 8
+
+// describeDrift enumerates the differing lines of the two canonical forms
+// (up to maxDriftLines), so a failing regression test says which stats
+// moved — all of them, not just the first.
 func describeDrift(got, want []byte) string {
 	gl := bytes.Split(got, []byte("\n"))
 	wl := bytes.Split(want, []byte("\n"))
@@ -204,10 +224,28 @@ func describeDrift(got, want []byte) string {
 	if len(wl) < n {
 		n = len(wl)
 	}
+	var diffs []string
+	extra := 0
 	for i := 0; i < n; i++ {
 		if !bytes.Equal(gl[i], wl[i]) {
-			return fmt.Sprintf("line %d: got %s, want %s", i+1, bytes.TrimSpace(gl[i]), bytes.TrimSpace(wl[i]))
+			if len(diffs) == maxDriftLines {
+				extra++
+				continue
+			}
+			diffs = append(diffs, fmt.Sprintf("line %d: got %s, want %s",
+				i+1, bytes.TrimSpace(gl[i]), bytes.TrimSpace(wl[i])))
 		}
 	}
-	return fmt.Sprintf("length differs: got %d lines, want %d", len(gl), len(wl))
+	if len(gl) != len(wl) {
+		diffs = append(diffs, fmt.Sprintf("length differs: got %d lines, want %d", len(gl), len(wl)))
+	}
+	if extra > 0 {
+		diffs = append(diffs, fmt.Sprintf("... and %d more differing lines", extra))
+	}
+	if len(diffs) == 0 {
+		// Equal canonical forms reach Diff's early return; this is only
+		// possible if got/want differ in a way Split hides.
+		return "entries differ"
+	}
+	return strings.Join(diffs, "; ")
 }

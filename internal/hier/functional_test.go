@@ -1,0 +1,123 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"timekeeping/internal/trace"
+)
+
+// mixedRefs builds a deterministic load/store mix over a working set large
+// enough to evict, re-reference and write back.
+func mixedRefs(n int, blocks uint64, seed int64) []trace.Ref {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]trace.Ref, n)
+	for i := range out {
+		r := trace.Ref{Addr: uint64(rng.Int63n(int64(blocks))) * 32, PC: uint32(rng.Intn(16))}
+		if rng.Intn(4) == 0 {
+			r.Kind = trace.Store
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestFunctionalWarmingPreservesContents is the sampling engine's
+// correctness contract: warming a hierarchy through the contents-only
+// AccessFunctional path must leave the caches in exactly the state a
+// detailed run would — so a detailed window that follows measures the same
+// hits and misses either way.
+func TestFunctionalWarmingPreservesContents(t *testing.T) {
+	warm := mixedRefs(20_000, 4096, 1)
+	probe := mixedRefs(5_000, 4096, 2)
+
+	det := New(DefaultConfig())
+	fun := New(DefaultConfig())
+
+	var now uint64
+	for _, r := range warm {
+		det.Access(r, now)
+		fun.AccessFunctional(r, now)
+		now++
+	}
+
+	ds, fs := det.Stats(), fun.Stats()
+	if ds.Accesses != fs.Accesses || ds.Hits != fs.Hits || ds.Misses != fs.Misses {
+		t.Fatalf("warming counters diverge: detailed %+v functional %+v", ds, fs)
+	}
+	if ds.ColdMisses != fs.ColdMisses {
+		t.Fatalf("cold misses diverge: %d vs %d", ds.ColdMisses, fs.ColdMisses)
+	}
+	if ds.L2Hits != fs.L2Hits || ds.L2Misses != fs.L2Misses {
+		t.Fatalf("L2 counters diverge: %d/%d vs %d/%d", ds.L2Hits, ds.L2Misses, fs.L2Hits, fs.L2Misses)
+	}
+	if ds.Writebacks != fs.Writebacks {
+		t.Fatalf("writebacks diverge: %d vs %d", ds.Writebacks, fs.Writebacks)
+	}
+
+	// Probe both hierarchies detailed: identical contents mean identical
+	// hit/miss behaviour from here on.
+	preD, preF := det.Stats(), fun.Stats()
+	for i, r := range probe {
+		det.Access(r, now+uint64(i))
+		fun.Access(r, now+uint64(i))
+	}
+	dd := det.Stats().Minus(preD)
+	fd := fun.Stats().Minus(preF)
+	if dd.Hits != fd.Hits || dd.Misses != fd.Misses {
+		t.Fatalf("probe diverges after warming: detailed-warmed %+v functionally-warmed %+v", dd, fd)
+	}
+	if dd.L2Hits != fd.L2Hits || dd.L2Misses != fd.L2Misses {
+		t.Fatalf("probe L2 diverges: %d/%d vs %d/%d", dd.L2Hits, dd.L2Misses, fd.L2Hits, fd.L2Misses)
+	}
+}
+
+// TestFunctionalMissesUnclassified checks that warm misses on the
+// functional path stay out of the conflict/capacity tallies (the
+// classifier's LRU state is not maintained during warming, so only cold
+// detection is exact).
+func TestFunctionalMissesUnclassified(t *testing.T) {
+	h := New(tinyConfig()) // 4-block L1
+	// 8 distinct blocks: all cold.
+	for i := uint64(0); i < 8; i++ {
+		h.AccessFunctional(load(i*32), i)
+	}
+	// Re-touch the first blocks: misses, but warm — neither cold nor
+	// conflict/capacity.
+	for i := uint64(0); i < 4; i++ {
+		h.AccessFunctional(load(i*32), 100+i)
+	}
+	s := h.Stats()
+	if s.ColdMisses != 8 {
+		t.Fatalf("cold misses = %d, want 8", s.ColdMisses)
+	}
+	if s.ConflMiss != 0 || s.CapMiss != 0 {
+		t.Fatalf("warm functional misses classified: conflict=%d capacity=%d", s.ConflMiss, s.CapMiss)
+	}
+	if s.Misses != 12 {
+		t.Fatalf("misses = %d, want 12", s.Misses)
+	}
+}
+
+func TestStatsMinus(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Access(load(0), 0)
+	pre := h.Stats()
+	h.Access(load(0x40), 100) // new block, different set: miss
+	h.Access(load(0), 200)    // still resident: hit
+	d := h.Stats().Minus(pre)
+	if d.Accesses != 2 || d.Misses != 1 || d.Hits != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestStatsL2MissRate(t *testing.T) {
+	var s Stats
+	if s.L2MissRate() != 0 {
+		t.Fatalf("empty L2 miss rate = %v", s.L2MissRate())
+	}
+	s.L2Hits, s.L2Misses = 3, 1
+	if s.L2MissRate() != 0.25 {
+		t.Fatalf("L2 miss rate = %v, want 0.25", s.L2MissRate())
+	}
+}

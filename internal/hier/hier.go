@@ -247,6 +247,34 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// L2MissRate returns L2 misses per L2 access.
+func (s Stats) L2MissRate() float64 {
+	if a := s.L2Hits + s.L2Misses; a > 0 {
+		return float64(s.L2Misses) / float64(a)
+	}
+	return 0
+}
+
+// Minus returns the per-field delta (s - earlier) — the snapshot
+// arithmetic sampled runs use to bracket detailed measurement windows.
+func (s Stats) Minus(earlier Stats) Stats {
+	return Stats{
+		Accesses:     s.Accesses - earlier.Accesses,
+		Hits:         s.Hits - earlier.Hits,
+		Misses:       s.Misses - earlier.Misses,
+		VictimHits:   s.VictimHits - earlier.VictimHits,
+		ColdMisses:   s.ColdMisses - earlier.ColdMisses,
+		ConflMiss:    s.ConflMiss - earlier.ConflMiss,
+		CapMiss:      s.CapMiss - earlier.CapMiss,
+		Writebacks:   s.Writebacks - earlier.Writebacks,
+		L2Hits:       s.L2Hits - earlier.L2Hits,
+		L2Misses:     s.L2Misses - earlier.L2Misses,
+		L2Writebacks: s.L2Writebacks - earlier.L2Writebacks,
+		Prefetches:   s.Prefetches - earlier.Prefetches,
+		PFUseful:     s.PFUseful - earlier.PFUseful,
+	}
+}
+
 // Hierarchy is the composed memory system. Construct with New.
 type Hierarchy struct {
 	cfg Config
@@ -510,6 +538,131 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 	}
 	h.demandMSHR.Commit(block, done)
 	return done, l2op
+}
+
+// AccessFunctional implements cpu.FunctionalMemSystem: the contents-only
+// access path functional warming (internal/sample) drives between
+// detailed windows. It updates everything that constitutes warm state —
+// L1/L2/victim-buffer contents, the per-frame counter hardware, the
+// classifier's cold set, observers and the prefetcher — but performs no
+// timing simulation: no MSHR merging, no bus or DRAM occupancy, and
+// misses complete instantly (Done == Now). Non-cold misses carry
+// classify.Unclassified because the shadow cache's LRU order is not
+// maintained on this path (cold detection stays exact). It must not be
+// used with an auditor attached: the oracle replays detailed semantics.
+func (h *Hierarchy) AccessFunctional(r trace.Ref, now uint64) {
+	if now > h.maxNow {
+		h.maxNow = now
+	}
+	if len(h.pending) > 0 {
+		h.applyPendingFills(h.maxNow)
+	}
+
+	block := h.l1.BlockAddr(r.Addr)
+	write := r.Kind == trace.Store
+	h.stats.Accesses++
+
+	res := h.l1.Access(r.Addr, write)
+	ev := AccessEvent{
+		Now:   now,
+		Done:  now,
+		Addr:  r.Addr,
+		Block: block,
+		PC:    r.PC,
+		Frame: res.Frame,
+		Write: write,
+		SW:    r.Kind == trace.SWPrefetch,
+		Hit:   res.Hit,
+	}
+	if res.Hit {
+		h.stats.Hits++
+	} else {
+		h.missFunctional(&ev, res, block, write, now)
+	}
+
+	// Per-frame counter hardware update, identical to Access.
+	fs := &h.frames[res.Frame]
+	if res.Hit {
+		fs.hits++
+		if fs.prefetched {
+			fs.prefetched = false
+			h.stats.PFUseful++
+			ctrPFUseful.Inc()
+		}
+	} else {
+		fs.loadedAt = now
+		fs.hits = 0
+		fs.prefetched = false
+	}
+	if now > fs.lastAccess || !res.Hit {
+		fs.lastAccess = now
+	}
+
+	for _, o := range h.observers {
+		o.OnAccess(&ev)
+	}
+	if h.prefetcher != nil {
+		h.prefetcher.OnAccess(&ev)
+		h.issuePrefetches(now)
+	}
+}
+
+// missFunctional handles the L1 miss path for AccessFunctional: eviction
+// and victim-buffer interposition behave exactly as in miss, but the fill
+// goes straight to the L2 array with no MSHR, bus or memory timing.
+func (h *Hierarchy) missFunctional(ev *AccessEvent, res cache.Result, block uint64, write bool, now uint64) {
+	h.stats.Misses++
+	if h.classifier.Warm(block) {
+		ev.MissKind = classify.Cold
+		h.stats.ColdMisses++
+	} else {
+		ev.MissKind = classify.Unclassified
+	}
+
+	if res.Victim.Valid {
+		fs := &h.frames[res.Frame]
+		var dead uint64
+		if now > fs.lastAccess {
+			dead = now - fs.lastAccess
+		}
+		if fs.lastAccess == 0 && fs.loadedAt == 0 {
+			dead = 0
+		}
+		ev.Victim = res.Victim
+		if h.victim != nil {
+			h.victim.Offer(Eviction{
+				Now:      now,
+				Victim:   res.Victim,
+				Frame:    res.Frame,
+				Incoming: block,
+				DeadTime: dead,
+				ZeroLive: fs.hits == 0,
+			})
+		}
+		if res.Victim.Dirty {
+			h.stats.Writebacks++
+		}
+	}
+
+	if h.victim != nil && h.victim.Lookup(block, now) {
+		ev.VictimHit = true
+		h.stats.VictimHits++
+		return
+	}
+
+	if h.cfg.PerfectL1 && ev.MissKind != classify.Cold {
+		return
+	}
+
+	l2res := h.l2.Access(block, write)
+	if l2res.Hit {
+		h.stats.L2Hits++
+	} else {
+		h.stats.L2Misses++
+		if l2res.Victim.Valid && l2res.Victim.Dirty {
+			h.stats.L2Writebacks++
+		}
+	}
 }
 
 // issuePrefetches pulls due requests from the prefetcher, subject to

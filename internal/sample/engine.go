@@ -1,0 +1,218 @@
+package sample
+
+import (
+	"context"
+	"errors"
+
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/obs"
+	"timekeeping/internal/trace"
+)
+
+// ErrNoWindows is returned when the stream ends before a single detailed
+// window completes: there is nothing to estimate from.
+var ErrNoWindows = errors.New("sample: stream ended before the first detailed window")
+
+// Warmable is state whose statistics recording can be suspended during
+// functional warming while the underlying hardware state keeps advancing
+// (core.Tracker implements it).
+type Warmable interface {
+	SetRecording(on bool)
+}
+
+// Config hands the engine an assembled simulation.
+type Config struct {
+	CPU    *cpu.Model
+	Hier   *hier.Hierarchy
+	Stream trace.Stream
+	Policy Policy
+
+	// WarmupRefs is functionally warmed before the first detailed window;
+	// MeasureRefs is the exact-run measurement budget the window schedule
+	// is laid over (it bounds total work for the fixed-period policy and
+	// derives the default window cap — see Policy.MaxWindows).
+	WarmupRefs  uint64
+	MeasureRefs uint64
+
+	// Progress, when non-nil, receives phase flips (warming shows as
+	// PhaseWarmup, detailed windows as PhaseMeasure) on top of the
+	// reference counts the CPU model reports. Nil is a valid no-op.
+	Progress *obs.Progress
+
+	// Warmables have their recording suspended outside detailed windows.
+	Warmables []Warmable
+}
+
+// Outcome is a sampled run's aggregate: the statistical estimate plus the
+// pooled CPU/hierarchy counters over all detailed windows (warming spans
+// contribute nothing to either).
+type Outcome struct {
+	Estimate Estimate
+	CPU      cpu.Result
+	Hier     hier.Stats
+}
+
+// Run executes the alternating warm/measure schedule: an initial
+// functional warm-up, then up to maxWindows repetitions of [detailed
+// window, warming span]. It returns the estimate with CLT-based 95%
+// confidence intervals over the per-window samples.
+func Run(ctx context.Context, cfg Config) (Outcome, error) {
+	pol := cfg.Policy.withDefaults()
+	period := pol.DetailedWarmRefs + pol.DetailedRefs + pol.WarmRefs
+
+	budget := int(cfg.MeasureRefs / period)
+	if budget < 1 {
+		budget = 1
+	}
+	maxW := pol.MaxWindows
+	if maxW == 0 {
+		maxW = budget
+		if pol.TargetRelCI > 0 {
+			maxW = 4 * budget
+		}
+	}
+	minW := pol.MinWindows
+	if minW > maxW {
+		minW = maxW
+	}
+
+	// The full fixed-period schedule: warm-up, then maxW windows (with
+	// their detailed warm prefixes) and a warming span between consecutive
+	// windows (none after the last).
+	expected := cfg.WarmupRefs + uint64(maxW)*(pol.DetailedWarmRefs+pol.DetailedRefs) + uint64(maxW-1)*pol.WarmRefs
+	cfg.Progress.Begin(obs.PhaseWarmup, expected)
+
+	recording := func(on bool) {
+		for _, w := range cfg.Warmables {
+			w.SetRecording(on)
+		}
+	}
+	recording(false)
+	defer recording(true)
+
+	var (
+		ipcR, l1R, l2R Ratio
+		agg            Outcome
+	)
+	est := &agg.Estimate
+	est.Policy = pol
+
+	warm := func(refs uint64) (ended bool, err error) {
+		cfg.Progress.SetPhase(obs.PhaseWarmup)
+		pre := cfg.CPU.Snapshot().Refs
+		if _, err := cfg.CPU.RunFunctional(ctx, cfg.Stream, refs, pol.NominalCPI); err != nil {
+			return false, err
+		}
+		done := cfg.CPU.Snapshot().Refs - pre
+		ctrWarmRefs.Add(done)
+		est.WarmRefs += done
+		return done < refs, nil
+	}
+
+	// detailed runs the detailed path unrecorded — the per-window warm
+	// prefix that refills OoO/MSHR/bus state before measurement starts.
+	detailed := func(refs uint64) (ended bool, err error) {
+		pre := cfg.CPU.Snapshot().Refs
+		if _, err := cfg.CPU.RunContext(ctx, cfg.Stream, refs); err != nil {
+			return false, err
+		}
+		done := cfg.CPU.Snapshot().Refs - pre
+		est.DetailedRefs += done
+		ctrDetailedRefs.Add(done)
+		return done < refs, nil
+	}
+
+	if ended, err := warm(cfg.WarmupRefs); err != nil {
+		return agg, err
+	} else if ended {
+		return agg, ErrNoWindows
+	}
+
+	for w := 0; w < maxW; w++ {
+		cfg.Progress.SetPhase(obs.PhaseMeasure)
+		if pol.DetailedWarmRefs > 0 {
+			if ended, err := detailed(pol.DetailedWarmRefs); err != nil {
+				return agg, err
+			} else if ended {
+				break
+			}
+		}
+
+		preCPU := cfg.CPU.Snapshot()
+		preHier := cfg.Hier.Stats()
+		recording(true)
+		post, err := cfg.CPU.RunContext(ctx, cfg.Stream, pol.DetailedRefs)
+		recording(false)
+		if err != nil {
+			return agg, err
+		}
+		dCPU := post.Minus(preCPU)
+		dHier := cfg.Hier.Stats().Minus(preHier)
+		if dCPU.Refs == 0 {
+			break // stream exhausted
+		}
+
+		est.Windows++
+		est.DetailedRefs += dCPU.Refs
+		ctrWindows.Inc()
+		ctrDetailedRefs.Add(dCPU.Refs)
+		accumulate(&agg, dCPU, dHier)
+
+		ipcR.Add(float64(dCPU.Insts), float64(dCPU.Cycles))
+		l1R.Add(float64(dHier.Misses), float64(dHier.Accesses))
+		if dHier.L2Hits+dHier.L2Misses > 0 {
+			l2R.Add(float64(dHier.L2Misses), float64(dHier.L2Hits+dHier.L2Misses))
+		}
+
+		if pol.TargetRelCI > 0 && est.Windows >= minW {
+			if ipcR.Stat().RelCI() <= pol.TargetRelCI {
+				est.TargetMet = true
+				break
+			}
+		}
+		if dCPU.Refs < pol.DetailedRefs || w == maxW-1 {
+			break // stream exhausted mid-window / schedule complete
+		}
+
+		if ended, err := warm(pol.WarmRefs); err != nil {
+			return agg, err
+		} else if ended {
+			break
+		}
+	}
+	if est.Windows == 0 {
+		return agg, ErrNoWindows
+	}
+
+	est.IPC = ipcR.Stat()
+	est.L1MissRate = l1R.Stat()
+	est.L2MissRate = l2R.Stat()
+	return agg, nil
+}
+
+// accumulate pools one detailed window's deltas into the outcome.
+func accumulate(agg *Outcome, dCPU cpu.Result, dHier hier.Stats) {
+	agg.CPU.Insts += dCPU.Insts
+	agg.CPU.Refs += dCPU.Refs
+	agg.CPU.Loads += dCPU.Loads
+	agg.CPU.Stores += dCPU.Stores
+	agg.CPU.Cycles += dCPU.Cycles
+	if agg.CPU.Cycles > 0 {
+		agg.CPU.IPC = float64(agg.CPU.Insts) / float64(agg.CPU.Cycles)
+	}
+
+	agg.Hier.Accesses += dHier.Accesses
+	agg.Hier.Hits += dHier.Hits
+	agg.Hier.Misses += dHier.Misses
+	agg.Hier.VictimHits += dHier.VictimHits
+	agg.Hier.ColdMisses += dHier.ColdMisses
+	agg.Hier.ConflMiss += dHier.ConflMiss
+	agg.Hier.CapMiss += dHier.CapMiss
+	agg.Hier.Writebacks += dHier.Writebacks
+	agg.Hier.L2Hits += dHier.L2Hits
+	agg.Hier.L2Misses += dHier.L2Misses
+	agg.Hier.L2Writebacks += dHier.L2Writebacks
+	agg.Hier.Prefetches += dHier.Prefetches
+	agg.Hier.PFUseful += dHier.PFUseful
+}

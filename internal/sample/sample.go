@@ -1,0 +1,257 @@
+// Package sample implements SMARTS-style statistical sampling for
+// simulation runs: the reference stream is executed as alternating
+// *functional-warming* and *detailed-measurement* phases. During warming,
+// references bypass the out-of-order core and the timing machinery
+// entirely and only keep the memory system's functional state warm (cache
+// and victim-buffer contents, per-frame timekeeping counters, predictor
+// tables); during short detailed windows the full timing model runs and
+// per-window IPC and miss rates are recorded. Whole-run estimates carry
+// CLT-based 95% confidence intervals computed from the per-window
+// variance.
+//
+// The package provides the sampling policy (the JSON-stable knob set that
+// keys result caching), the estimator arithmetic, and the engine that
+// drives an assembled cpu.Model/hier.Hierarchy pair (see Run).
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"timekeeping/internal/obs"
+)
+
+// Process-cumulative sampling counters, rendered by tkserve's /metrics:
+// how many detailed windows the process has measured and how the
+// simulated references split between the functional and detailed paths.
+var (
+	ctrWindows      = obs.Default.Counter("sim_sample_windows_total")
+	ctrWarmRefs     = obs.Default.Counter("sim_sample_warm_refs_total")
+	ctrDetailedRefs = obs.Default.Counter("sim_sample_detailed_refs_total")
+)
+
+// Policy configures one sampled run. The zero value is invalid; start
+// from DefaultPolicy. Every field changes simulation behaviour and the
+// struct marshals deterministically, so a Policy embedded in sim.Options
+// gives sampled runs content-addressed cache keys distinct from exact
+// runs (and from each other).
+type Policy struct {
+	// DetailedRefs is the length of each detailed measurement window, in
+	// references.
+	DetailedRefs uint64 `json:"detailed_refs"`
+	// WarmRefs is the functional-warming span between windows, in
+	// references.
+	WarmRefs uint64 `json:"warm_refs"`
+	// DetailedWarmRefs is a detailed-mode prefix run immediately before
+	// each measurement window and excluded from its sample: it refills
+	// the machine state functional warming cannot carry — OoO window
+	// occupancy, MSHRs, bus and DRAM timing — so windows do not measure a
+	// cold-start transient (0 = no prefix).
+	DetailedWarmRefs uint64 `json:"detailed_warm_refs,omitempty"`
+	// NominalCPI is the fixed rate the retire clock advances at during
+	// functional warming, in cycles per instruction (0 = 1.0). It exists
+	// because the timekeeping state being warmed — dead-time counters,
+	// decay thresholds — is measured in cycles, so warming time should
+	// pass at roughly the detailed execution rate.
+	NominalCPI float64 `json:"nominal_cpi,omitempty"`
+	// TargetRelCI, when > 0, switches from the fixed-period policy
+	// ("cover the run's MeasureRefs budget") to the target-CI policy:
+	// keep sampling windows until the IPC estimate's 95% CI half-width
+	// divided by its mean is at most TargetRelCI (e.g. 0.02 = ±2%).
+	TargetRelCI float64 `json:"target_rel_ci,omitempty"`
+	// MinWindows is the minimum number of windows before TargetRelCI may
+	// stop the run (0 = 8; the CLT needs a few samples).
+	MinWindows int `json:"min_windows,omitempty"`
+	// MaxWindows caps the number of detailed windows. 0 derives it from
+	// the run's MeasureRefs budget: MeasureRefs/(DetailedRefs+WarmRefs)
+	// windows for the fixed-period policy, 4x that for the target-CI
+	// policy.
+	MaxWindows int `json:"max_windows,omitempty"`
+}
+
+// DefaultPolicy returns the standard sampling configuration: 2K-reference
+// detailed windows with a 512-reference detailed warm prefix, ~30K
+// references of functional warming in between (a 1/16 measured detail
+// fraction), clock warming at CPI 1.
+func DefaultPolicy() *Policy {
+	return &Policy{DetailedRefs: 2048, WarmRefs: 30208, DetailedWarmRefs: 512}
+}
+
+// Validate checks the policy.
+func (p *Policy) Validate() error {
+	if p.DetailedRefs == 0 {
+		return fmt.Errorf("sample: DetailedRefs must be > 0")
+	}
+	if p.WarmRefs == 0 {
+		return fmt.Errorf("sample: WarmRefs must be > 0 (use an exact run instead)")
+	}
+	if p.NominalCPI < 0 || math.IsNaN(p.NominalCPI) || math.IsInf(p.NominalCPI, 0) {
+		return fmt.Errorf("sample: NominalCPI %v out of range", p.NominalCPI)
+	}
+	if p.TargetRelCI < 0 || p.TargetRelCI >= 1 || math.IsNaN(p.TargetRelCI) {
+		return fmt.Errorf("sample: TargetRelCI %v out of range [0, 1)", p.TargetRelCI)
+	}
+	if p.MinWindows < 0 {
+		return fmt.Errorf("sample: MinWindows %d < 0", p.MinWindows)
+	}
+	if p.MaxWindows < 0 {
+		return fmt.Errorf("sample: MaxWindows %d < 0", p.MaxWindows)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with the optional fields resolved.
+func (p Policy) withDefaults() Policy {
+	if p.NominalCPI == 0 {
+		p.NominalCPI = 1
+	}
+	if p.MinWindows == 0 {
+		p.MinWindows = 8
+	}
+	return p
+}
+
+// z95 is the two-sided 95% normal quantile the CLT interval uses.
+const z95 = 1.96
+
+// Stat is one statistic's point estimate with its CLT-based 95%
+// confidence interval, computed over per-window samples.
+type Stat struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"` // sample standard deviation across windows
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
+	N      int     `json:"n"` // windows that contributed a sample
+}
+
+// RelCI returns the CI half-width relative to the mean (0.02 = ±2%). A
+// zero mean with a non-zero interval reports +Inf.
+func (s Stat) RelCI() float64 {
+	half := (s.CIHigh - s.CILow) / 2
+	if s.Mean == 0 {
+		if half == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return half / math.Abs(s.Mean)
+}
+
+// Contains reports whether x falls inside the confidence interval.
+func (s Stat) Contains(x float64) bool { return x >= s.CILow && x <= s.CIHigh }
+
+// Welford accumulates mean and variance online (Welford's algorithm), so
+// the engine never stores per-window samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stat renders the accumulated samples as a point estimate with its 95%
+// confidence interval.
+func (w *Welford) Stat() Stat {
+	sd := math.Sqrt(w.Variance())
+	half := 0.0
+	if w.n > 0 {
+		half = z95 * sd / math.Sqrt(float64(w.n))
+	}
+	return Stat{
+		Mean:   w.mean,
+		StdDev: sd,
+		CILow:  w.mean - half,
+		CIHigh: w.mean + half,
+		N:      w.n,
+	}
+}
+
+// Ratio accumulates a per-window ratio statistic R = Σy/Σx — the
+// estimator for aggregate rates like IPC (instructions over cycles) where
+// per-window denominators vary, so a plain mean of per-window ratios
+// would weight windows equally and bias the estimate. The confidence
+// interval uses the standard ratio-estimator variance: with residuals
+// d_i = y_i - R·x_i, Var(R) ≈ s²_d / (n·x̄²).
+type Ratio struct {
+	n             int
+	sy, sx        float64
+	syy, sxx, sxy float64
+}
+
+// Add records one window's numerator and denominator.
+func (r *Ratio) Add(y, x float64) {
+	r.n++
+	r.sy += y
+	r.sx += x
+	r.syy += y * y
+	r.sxx += x * x
+	r.sxy += x * y
+}
+
+// N returns the window count.
+func (r *Ratio) N() int { return r.n }
+
+// Stat renders the pooled ratio with its 95% confidence interval.
+func (r *Ratio) Stat() Stat {
+	if r.n == 0 || r.sx == 0 {
+		return Stat{N: r.n}
+	}
+	R := r.sy / r.sx
+	st := Stat{Mean: R, CILow: R, CIHigh: R, N: r.n}
+	if r.n >= 2 {
+		s2d := (r.syy - 2*R*r.sxy + R*R*r.sxx) / float64(r.n-1)
+		if s2d < 0 {
+			s2d = 0 // floating-point cancellation on near-constant windows
+		}
+		xbar := r.sx / float64(r.n)
+		st.StdDev = math.Sqrt(s2d) / xbar
+		half := z95 * st.StdDev / math.Sqrt(float64(r.n))
+		st.CILow, st.CIHigh = R-half, R+half
+	}
+	return st
+}
+
+// Estimate is a sampled run's statistical summary, surfaced as
+// sim.Result.Estimate.
+type Estimate struct {
+	// Policy echoes the sampling configuration the run used (with
+	// optional fields resolved).
+	Policy Policy `json:"policy"`
+
+	// Windows is the number of detailed measurement windows taken.
+	Windows int `json:"windows"`
+	// DetailedRefs and WarmRefs are the run's total references through
+	// the detailed and functional paths (WarmRefs includes the initial
+	// warm-up span).
+	DetailedRefs uint64 `json:"detailed_refs"`
+	WarmRefs     uint64 `json:"warm_refs"`
+	// TargetMet reports whether a target-CI run stopped because it
+	// reached its target (false for fixed-period runs).
+	TargetMet bool `json:"target_met,omitempty"`
+
+	IPC        Stat `json:"ipc"`
+	L1MissRate Stat `json:"l1_miss_rate"`
+	L2MissRate Stat `json:"l2_miss_rate"`
+}

@@ -1,0 +1,220 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleDefaultPolicyValid(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Policy)
+		ok   bool
+	}{
+		{"default", func(p *Policy) {}, true},
+		{"zero detailed", func(p *Policy) { p.DetailedRefs = 0 }, false},
+		{"zero warm", func(p *Policy) { p.WarmRefs = 0 }, false},
+		{"negative cpi", func(p *Policy) { p.NominalCPI = -1 }, false},
+		{"nan cpi", func(p *Policy) { p.NominalCPI = math.NaN() }, false},
+		{"inf cpi", func(p *Policy) { p.NominalCPI = math.Inf(1) }, false},
+		{"target ci 1", func(p *Policy) { p.TargetRelCI = 1 }, false},
+		{"target ci negative", func(p *Policy) { p.TargetRelCI = -0.1 }, false},
+		{"target ci ok", func(p *Policy) { p.TargetRelCI = 0.02 }, true},
+		{"negative min windows", func(p *Policy) { p.MinWindows = -1 }, false},
+		{"negative max windows", func(p *Policy) { p.MaxWindows = -1 }, false},
+		{"explicit windows", func(p *Policy) { p.MinWindows = 4; p.MaxWindows = 16 }, true},
+	}
+	for _, tc := range cases {
+		p := DefaultPolicy()
+		tc.mut(p)
+		err := p.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestSamplePolicyWithDefaults(t *testing.T) {
+	p := Policy{DetailedRefs: 100, WarmRefs: 1000}.withDefaults()
+	if p.NominalCPI != 1 {
+		t.Errorf("NominalCPI = %v, want 1", p.NominalCPI)
+	}
+	if p.MinWindows != 8 {
+		t.Errorf("MinWindows = %d, want 8", p.MinWindows)
+	}
+	q := Policy{DetailedRefs: 100, WarmRefs: 1000, NominalCPI: 2.5, MinWindows: 3}.withDefaults()
+	if q.NominalCPI != 2.5 || q.MinWindows != 3 {
+		t.Errorf("explicit fields overwritten: %+v", q)
+	}
+}
+
+// TestSampleWelfordMatchesNaive checks the online accumulator against the
+// two-pass textbook formulas.
+func TestSampleWelfordMatchesNaive(t *testing.T) {
+	xs := []float64{1.5, 2.25, 0.75, 3.5, 2.0, 1.0, 2.75}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	variance := m2 / float64(len(xs)-1)
+
+	if math.Abs(w.Mean()-mean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-12 {
+		t.Errorf("variance = %v, want %v", w.Variance(), variance)
+	}
+	st := w.Stat()
+	half := z95 * math.Sqrt(variance) / math.Sqrt(float64(len(xs)))
+	if math.Abs((st.CIHigh-st.CILow)/2-half) > 1e-12 {
+		t.Errorf("CI half-width = %v, want %v", (st.CIHigh-st.CILow)/2, half)
+	}
+	if st.N != len(xs) {
+		t.Errorf("N = %d, want %d", st.N, len(xs))
+	}
+}
+
+func TestSampleWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if s := w.Stat(); s.Mean != 0 || s.StdDev != 0 || s.N != 0 {
+		t.Errorf("empty stat = %+v", s)
+	}
+	w.Add(4)
+	if s := w.Stat(); s.Mean != 4 || s.StdDev != 0 || s.CILow != 4 || s.CIHigh != 4 {
+		t.Errorf("single-sample stat = %+v", s)
+	}
+}
+
+// TestSampleRatioMatchesNaive checks the running ratio accumulator against a
+// direct evaluation of the ratio-estimator formulas.
+func TestSampleRatioMatchesNaive(t *testing.T) {
+	ys := []float64{120, 95, 140, 88, 131, 104}
+	xs := []float64{200, 180, 230, 170, 225, 190}
+	var r Ratio
+	for i := range ys {
+		r.Add(ys[i], xs[i])
+	}
+
+	var sy, sx float64
+	for i := range ys {
+		sy += ys[i]
+		sx += xs[i]
+	}
+	R := sy / sx
+	var s2d float64
+	for i := range ys {
+		d := ys[i] - R*xs[i]
+		s2d += d * d
+	}
+	s2d /= float64(len(ys) - 1)
+	xbar := sx / float64(len(ys))
+	sd := math.Sqrt(s2d) / xbar
+	half := z95 * sd / math.Sqrt(float64(len(ys)))
+
+	st := r.Stat()
+	if math.Abs(st.Mean-R) > 1e-12 {
+		t.Errorf("mean = %v, want %v", st.Mean, R)
+	}
+	if math.Abs(st.StdDev-sd) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", st.StdDev, sd)
+	}
+	if math.Abs(st.CIHigh-(R+half)) > 1e-9 || math.Abs(st.CILow-(R-half)) > 1e-9 {
+		t.Errorf("CI = [%v, %v], want [%v, %v]", st.CILow, st.CIHigh, R-half, R+half)
+	}
+}
+
+// TestSampleRatioPoolsWindows verifies the estimator returns the ratio of sums,
+// not the mean of per-window ratios (the bias the estimator exists to
+// avoid when window denominators vary).
+func TestSampleRatioPoolsWindows(t *testing.T) {
+	var r Ratio
+	// Two windows: one tiny with ratio 1.0, one huge with ratio 0.1. The
+	// pooled ratio is dominated by the large window; a mean of ratios
+	// would report 0.55.
+	r.Add(1, 1)
+	r.Add(100, 1000)
+	got := r.Stat().Mean
+	want := 101.0 / 1001.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("pooled ratio = %v, want %v", got, want)
+	}
+}
+
+func TestSampleRatioConstantWindows(t *testing.T) {
+	var r Ratio
+	for i := 0; i < 5; i++ {
+		r.Add(50, 100)
+	}
+	st := r.Stat()
+	if st.Mean != 0.5 {
+		t.Errorf("mean = %v, want 0.5", st.Mean)
+	}
+	// Identical windows: zero variance, the CI collapses to a point (the
+	// s2d < 0 clamp guards exactly this cancellation).
+	if st.CILow != st.CIHigh {
+		t.Errorf("CI not a point: [%v, %v]", st.CILow, st.CIHigh)
+	}
+	if st.RelCI() != 0 {
+		t.Errorf("RelCI = %v, want 0", st.RelCI())
+	}
+}
+
+func TestSampleRatioDegenerate(t *testing.T) {
+	var r Ratio
+	if st := r.Stat(); st.Mean != 0 || st.N != 0 {
+		t.Errorf("empty ratio stat = %+v", st)
+	}
+	r.Add(5, 10)
+	st := r.Stat()
+	if st.Mean != 0.5 || st.CILow != 0.5 || st.CIHigh != 0.5 || st.N != 1 {
+		t.Errorf("single-window stat = %+v", st)
+	}
+}
+
+func TestSampleStatRelCI(t *testing.T) {
+	s := Stat{Mean: 2, CILow: 1.9, CIHigh: 2.1}
+	if got := s.RelCI(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("RelCI = %v, want 0.05", got)
+	}
+	zero := Stat{Mean: 0, CILow: -0.1, CIHigh: 0.1}
+	if !math.IsInf(zero.RelCI(), 1) {
+		t.Errorf("zero-mean RelCI = %v, want +Inf", zero.RelCI())
+	}
+	point := Stat{}
+	if point.RelCI() != 0 {
+		t.Errorf("zero point RelCI = %v, want 0", point.RelCI())
+	}
+}
+
+func TestSampleStatContains(t *testing.T) {
+	s := Stat{Mean: 1, CILow: 0.9, CIHigh: 1.1}
+	for _, x := range []float64{0.9, 1.0, 1.1} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%v) = false", x)
+		}
+	}
+	for _, x := range []float64{0.89, 1.11} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%v) = true", x)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
+	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
 	"timekeeping/internal/workload"
@@ -147,7 +148,45 @@ func (s *Server) options(req api.RunRequest) (sim.Options, *api.Error) {
 	if req.Seed > 0 {
 		opt.Seed = req.Seed
 	}
+	if req.Sampling != nil {
+		pol := samplingPolicy(req.Sampling)
+		if aerr := checkSampling(pol, opt.Audit); aerr != nil {
+			return sim.Options{}, aerr
+		}
+		opt.Sampling = pol
+	}
 	return opt, nil
+}
+
+// samplingPolicy converts the wire policy to the simulator's.
+func samplingPolicy(p *api.SamplingPolicy) *sample.Policy {
+	if p == nil {
+		return nil
+	}
+	return &sample.Policy{
+		DetailedRefs:     p.DetailedRefs,
+		WarmRefs:         p.WarmRefs,
+		DetailedWarmRefs: p.DetailedWarmRefs,
+		NominalCPI:       p.NominalCPI,
+		TargetRelCI:      p.TargetRelCI,
+		MinWindows:       p.MinWindows,
+		MaxWindows:       p.MaxWindows,
+	}
+}
+
+// checkSampling rejects invalid policies and the sampling+audit
+// combination up front with a bad_request, rather than failing the job.
+func checkSampling(pol *sample.Policy, audit bool) *api.Error {
+	if pol == nil {
+		return nil
+	}
+	if err := pol.Validate(); err != nil {
+		return &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+	}
+	if audit {
+		return &api.Error{Code: api.CodeBadRequest, Message: sim.ErrSampledAudit.Error()}
+	}
+	return nil
 }
 
 // filterError maps a sim parse error onto the wire error, preserving the
@@ -187,6 +226,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
 			return sim.RunContext(ctx, spec, opt)
 		})
+		if err == nil && outcome != simcache.Miss {
+			// Cache-hit and joined jobs never drove this job's progress
+			// handle (the simulation ran elsewhere, or not at all): record
+			// the whole run as instantly complete so progress watchers
+			// always observe refs done == expected and a done phase.
+			j.prog.Begin(obs.PhaseDone, res.TotalRefs)
+			j.prog.Add(res.TotalRefs)
+		}
 		s.mgr.update(j, func(snap *api.JobView) {
 			snap.Cache = string(outcome)
 			if err == nil {
@@ -222,6 +269,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if aerr := checkSampling(samplingPolicy(req.Sampling), s.base.Audit); aerr != nil {
+		writeError(w, http.StatusBadRequest, aerr)
+		return
+	}
 
 	fn := func(ctx context.Context, j *job) error {
 		rn := experiments.NewRunner()
@@ -240,6 +291,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if len(req.Benches) > 0 {
 			rn.Benches = req.Benches
 		}
+		rn.Sampling = samplingPolicy(req.Sampling)
 		tables := exp.Run(rn)
 		s.mgr.update(j, func(snap *api.JobView) { snap.Tables = tableViews(tables) })
 		return nil

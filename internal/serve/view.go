@@ -2,6 +2,7 @@ package serve
 
 import (
 	"timekeeping/internal/report"
+	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
 	"timekeeping/pkg/api"
 )
@@ -59,6 +60,17 @@ func resultView(r *sim.Result) *api.ResultView {
 			Coverage:     r.PFCoverage,
 		}
 	}
+	if e := r.Estimate; e != nil {
+		v.Estimate = &api.EstimateView{
+			Windows:      e.Windows,
+			DetailedRefs: e.DetailedRefs,
+			WarmRefs:     e.WarmRefs,
+			TargetMet:    e.TargetMet,
+			IPC:          statEstimate(e.IPC),
+			L1MissRate:   statEstimate(e.L1MissRate),
+			L2MissRate:   statEstimate(e.L2MissRate),
+		}
+	}
 	if t := r.Tracker; t != nil {
 		tv := &api.TrackerView{
 			Generations:      t.Generations,
@@ -74,6 +86,11 @@ func resultView(r *sim.Result) *api.ResultView {
 		v.Tracker = tv
 	}
 	return v
+}
+
+// statEstimate converts one sampled statistic to its wire shape.
+func statEstimate(s sample.Stat) api.StatEstimate {
+	return api.StatEstimate{Mean: s.Mean, StdDev: s.StdDev, CILow: s.CILow, CIHigh: s.CIHigh, N: s.N}
 }
 
 // tableViews converts rendered experiment tables to their wire shape.

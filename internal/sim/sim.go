@@ -6,6 +6,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -17,10 +18,18 @@ import (
 	"timekeeping/internal/obs"
 	"timekeeping/internal/oracle"
 	"timekeeping/internal/prefetch"
+	"timekeeping/internal/sample"
 	"timekeeping/internal/trace"
 	"timekeeping/internal/victim"
 	"timekeeping/internal/workload"
 )
+
+// ErrSampledAudit rejects the sampling+audit combination: the lockstep
+// oracle replays detailed timing semantics for every reference, which
+// functional warming deliberately skips, so an audited sampled run would
+// diverge by construction. (TK_AUDIT-forced audit silently skips sampled
+// runs for the same reason; only an explicit Options.Audit is an error.)
+var ErrSampledAudit = errors.New("sim: sampling cannot be combined with audit mode")
 
 // UnknownValueError reports a user-supplied enum value (victim filter,
 // prefetcher) that is not one of the accepted names. Callers that present
@@ -150,6 +159,18 @@ type Options struct {
 	// reference stream (the paper's Section 5 sensitivity experiment).
 	DropSWPrefetch bool
 
+	// Sampling, when non-nil, runs the simulation in statistical sampling
+	// mode (internal/sample): warm-up and the spans between periodic
+	// detailed measurement windows execute through the fast functional
+	// path, and Result.Estimate carries per-stat point estimates with 95%
+	// confidence intervals. Result.CPU/Hier then pool the detailed
+	// windows only, while mechanism tallies (victim, prefetch, decay)
+	// cover the whole run and tracker metrics cover detailed windows.
+	// The field marshals (omitted when nil), so sampled and exact runs
+	// get distinct simcache keys. Incompatible with Audit — see
+	// ErrSampledAudit.
+	Sampling *sample.Policy `json:",omitempty"`
+
 	WarmupRefs  uint64
 	MeasureRefs uint64
 	Seed        uint64
@@ -185,6 +206,11 @@ type Result struct {
 	// TotalRefs counts every reference the run processed, including the
 	// warm-up window (CPU.Refs covers the measured window only).
 	TotalRefs uint64
+
+	// Estimate carries a sampled run's statistical summary (nil for exact
+	// runs): per-stat point estimates with 95% confidence intervals plus
+	// the warm/detailed reference split.
+	Estimate *sample.Estimate `json:",omitempty"`
 
 	Victim  *victim.Stats
 	Tracker *core.Metrics
@@ -245,6 +271,14 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	}
 	if opt.MeasureRefs == 0 {
 		return Result{}, fmt.Errorf("sim: MeasureRefs must be > 0")
+	}
+	if opt.Sampling != nil {
+		if err := opt.Sampling.Validate(); err != nil {
+			return Result{}, err
+		}
+		if opt.Audit {
+			return Result{}, ErrSampledAudit
+		}
 	}
 
 	h := hier.New(opt.Hier)
@@ -321,7 +355,10 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	}
 
 	var aud *oracle.Auditor
-	if opt.Audit || auditForced() {
+	// Sampled runs never attach the auditor: an explicit Audit was
+	// rejected above, and TK_AUDIT-forced audit cannot apply (the
+	// functional path performs no timing for the oracle to mirror).
+	if opt.Sampling == nil && (opt.Audit || auditForced()) {
 		// The tracker and decay cross-checks are frame-keyed on the real
 		// side and block-keyed on the oracle side; the two agree only
 		// while no prefetcher swaps frame contents behind the observers'
@@ -343,49 +380,81 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	}
 
 	m := cpu.New(opt.CPU, h)
-	// Progress: one Begin per run (Expected accumulates for multi-run
-	// jobs); the phase flips to measure at the warm-up boundary. PhaseDone
-	// is the job owner's call — a sweep runs many simulations under one
-	// handle.
-	opt.Progress.Begin(obs.PhaseWarmup, opt.WarmupRefs+opt.MeasureRefs)
 	m.SetProgress(opt.Progress)
-	warm, err := runPhase(ctx, m, stream, opt.WarmupRefs)
-	if err != nil {
-		return Result{}, err
-	}
 
-	// Measurement window: reset statistics, keep all state.
-	h.ResetStats()
-	if vc != nil {
-		vc.ResetStats()
-	}
-	if tk != nil {
-		tk.ResetStats()
-	}
-	if dbcp != nil {
-		dbcp.ResetStats()
-	}
-	if nl != nil {
-		nl.ResetStats()
-	}
-	if tracker != nil {
-		tracker.Reset()
-	}
-	if aud != nil {
-		aud.ResetStats()
-	}
+	var res Result
+	if opt.Sampling != nil {
+		// Sampled run: the engine owns the warm/measure alternation and
+		// the progress lifecycle; tracker metrics accumulate only inside
+		// detailed windows (no mid-run reset needed).
+		var warmables []sample.Warmable
+		if tracker != nil {
+			warmables = append(warmables, tracker)
+		}
+		out, err := sample.Run(ctx, sample.Config{
+			CPU:         m,
+			Hier:        h,
+			Stream:      stream,
+			Policy:      *opt.Sampling,
+			WarmupRefs:  opt.WarmupRefs,
+			MeasureRefs: opt.MeasureRefs,
+			Progress:    opt.Progress,
+			Warmables:   warmables,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{
+			Bench:     name,
+			CPU:       out.CPU,
+			Hier:      out.Hier,
+			TotalRefs: m.Snapshot().Refs,
+			Estimate:  &out.Estimate,
+		}
+	} else {
+		// Progress: one Begin per run (Expected accumulates for multi-run
+		// jobs); the phase flips to measure at the warm-up boundary.
+		// PhaseDone is the job owner's call — a sweep runs many
+		// simulations under one handle.
+		opt.Progress.Begin(obs.PhaseWarmup, opt.WarmupRefs+opt.MeasureRefs)
+		warm, err := runPhase(ctx, m, stream, opt.WarmupRefs)
+		if err != nil {
+			return Result{}, err
+		}
 
-	opt.Progress.SetPhase(obs.PhaseMeasure)
-	final, err := runPhase(ctx, m, stream, opt.MeasureRefs)
-	if err != nil {
-		return Result{}, err
-	}
+		// Measurement window: reset statistics, keep all state.
+		h.ResetStats()
+		if vc != nil {
+			vc.ResetStats()
+		}
+		if tk != nil {
+			tk.ResetStats()
+		}
+		if dbcp != nil {
+			dbcp.ResetStats()
+		}
+		if nl != nil {
+			nl.ResetStats()
+		}
+		if tracker != nil {
+			tracker.Reset()
+		}
+		if aud != nil {
+			aud.ResetStats()
+		}
 
-	res := Result{
-		Bench:     name,
-		CPU:       final.Minus(warm),
-		Hier:      h.Stats(),
-		TotalRefs: final.Refs,
+		opt.Progress.SetPhase(obs.PhaseMeasure)
+		final, err := runPhase(ctx, m, stream, opt.MeasureRefs)
+		if err != nil {
+			return Result{}, err
+		}
+
+		res = Result{
+			Bench:     name,
+			CPU:       final.Minus(warm),
+			Hier:      h.Stats(),
+			TotalRefs: final.Refs,
+		}
 	}
 	if vc != nil {
 		s := vc.Stats()

@@ -36,6 +36,25 @@ const (
 	CacheJoined = "joined" // attached to another caller's in-flight run
 )
 
+// SamplingPolicy configures statistical sampling for a run: detailed
+// measurement windows of DetailedRefs references separated by WarmRefs of
+// fast functional warming. See the server's documentation for knob
+// semantics; zero-valued optional fields take the simulator's defaults.
+type SamplingPolicy struct {
+	DetailedRefs uint64 `json:"detailed_refs"`
+	WarmRefs     uint64 `json:"warm_refs"`
+	// DetailedWarmRefs is the detailed-mode warm prefix excluded from
+	// each window's sample.
+	DetailedWarmRefs uint64 `json:"detailed_warm_refs,omitempty"`
+	// NominalCPI is the warming clock rate in cycles per instruction.
+	NominalCPI float64 `json:"nominal_cpi,omitempty"`
+	// TargetRelCI, when > 0, samples until the IPC estimate's relative
+	// 95% CI half-width is at most this value (e.g. 0.02 = ±2%).
+	TargetRelCI float64 `json:"target_rel_ci,omitempty"`
+	MinWindows  int     `json:"min_windows,omitempty"`
+	MaxWindows  int     `json:"max_windows,omitempty"`
+}
+
 // RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
 // server's base options.
 type RunRequest struct {
@@ -49,6 +68,11 @@ type RunRequest struct {
 	Warmup         uint64 `json:"warmup,omitempty"`
 	Refs           uint64 `json:"refs,omitempty"`
 	Seed           uint64 `json:"seed,omitempty"`
+	// Sampling, when non-nil, runs the simulation in statistical sampling
+	// mode; the result then carries an Estimate with confidence
+	// intervals. Rejected (bad_request) when combined with audit mode or
+	// when the policy is invalid.
+	Sampling *SamplingPolicy `json:"sampling,omitempty"`
 	// Async detaches the job from the request: the response is an
 	// immediate 202 with the job ID, polled via GET /v1/jobs/{id} or
 	// streamed via GET /v1/jobs/{id}/progress. Synchronous requests block
@@ -64,7 +88,10 @@ type ExperimentRequest struct {
 	Warmup  uint64   `json:"warmup,omitempty"`
 	Refs    uint64   `json:"refs,omitempty"`
 	Seed    uint64   `json:"seed,omitempty"`
-	Async   bool     `json:"async,omitempty"`
+	// Sampling runs the whole sweep in statistical sampling mode (see
+	// RunRequest.Sampling).
+	Sampling *SamplingPolicy `json:"sampling,omitempty"`
+	Async    bool            `json:"async,omitempty"`
 }
 
 // JobView is the externally visible snapshot of one queued simulation or
@@ -144,6 +171,29 @@ type TrackerView struct {
 	ZeroLiveCoverage float64 `json:"zero_live_coverage"`
 }
 
+// StatEstimate is one statistic's sampled point estimate with its 95%
+// confidence interval over detailed measurement windows.
+type StatEstimate struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	CILow  float64 `json:"ci_low"`
+	CIHigh float64 `json:"ci_high"`
+	N      int     `json:"n"`
+}
+
+// EstimateView summarises a sampled run: how the references split between
+// the functional and detailed paths, and the per-stat estimates.
+type EstimateView struct {
+	Windows      int    `json:"windows"`
+	DetailedRefs uint64 `json:"detailed_refs"`
+	WarmRefs     uint64 `json:"warm_refs"`
+	TargetMet    bool   `json:"target_met,omitempty"`
+
+	IPC        StatEstimate `json:"ipc"`
+	L1MissRate StatEstimate `json:"l1_miss_rate"`
+	L2MissRate StatEstimate `json:"l2_miss_rate"`
+}
+
 // ResultView is everything one run produced over its measurement window.
 type ResultView struct {
 	Bench string  `json:"bench"`
@@ -171,6 +221,11 @@ type ResultView struct {
 	Victim   *VictimView   `json:"victim,omitempty"`
 	Prefetch *PrefetchView `json:"prefetch,omitempty"`
 	Tracker  *TrackerView  `json:"tracker,omitempty"`
+
+	// Estimate is present for sampled runs only: the statistical summary
+	// with confidence intervals. For sampled runs the flat counters above
+	// pool the detailed measurement windows.
+	Estimate *EstimateView `json:"estimate,omitempty"`
 }
 
 // Table is one rendered experiment table (a paper figure or table).
