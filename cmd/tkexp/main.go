@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"timekeeping/internal/events"
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/sample"
@@ -39,6 +40,8 @@ func main() {
 		progress = flag.Bool("progress", true, "print a live sweep progress line on stderr")
 		smp      = flag.Bool("sample", false, "run the sweep in statistical sampling mode (faster, estimates with CIs)")
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: per-run target relative CI half-width (e.g. 0.02)")
+		evOut    = flag.String("events-out", "", "capture per-experiment-point run spans (and generation events) and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
+		evCap    = flag.Int("events-cap", 0, "with -events-out: event ring capacity (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,11 @@ func main() {
 		pol.TargetRelCI = *smpCI
 		runner.Sampling = pol
 	}
+	var sink *events.Sink
+	if *evOut != "" {
+		sink = events.NewSink(events.Config{Cap: *evCap})
+		runner.Events = sink
+	}
 	if *benches != "" {
 		var bs []string
 		for _, b := range strings.Split(*benches, ",") {
@@ -126,6 +134,33 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
 	}
+
+	if sink != nil {
+		if err := writeEvents(sink, *evOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "events: %d spans, %d events (%d dropped) -> %s\n",
+			len(sink.Spans()), sink.Len(), sink.Dropped(), *evOut)
+	}
+}
+
+// writeEvents exports the capture: Chrome trace-event JSON by default,
+// compact JSONL when the path ends in .jsonl.
+func writeEvents(sink *events.Sink, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = sink.WriteJSONL(f)
+	} else {
+		err = sink.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // startProgressLine repaints a live sweep-progress line on stderr every

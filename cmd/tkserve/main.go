@@ -11,6 +11,13 @@
 //	curl -s -X POST localhost:8080/v1/experiments/fig13 -d '{"benches":["twolf","vpr"]}'
 //	curl -s localhost:8080/metrics
 //
+// With -events, run requests may set "events": true to capture a
+// generation-event trace, downloaded via GET /v1/jobs/{id}/events
+// (Perfetto-compatible; ?format=jsonl for the compact stream).
+//
+// Logs are structured (log/slog) with per-request and per-job IDs:
+// -log-level sets the threshold, -log-json switches to JSON lines.
+//
 // SIGINT/SIGTERM begin a graceful shutdown: intake stops, running jobs
 // drain, and jobs still unfinished at -drain-timeout are cancelled.
 package main
@@ -19,8 +26,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
@@ -32,19 +41,38 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		depth   = flag.Int("queue", 64, "bounded job-queue depth (extra submissions get 503)")
-		warmup  = flag.Uint64("warmup", 0, "default warm-up references per run (0 = sim default)")
-		refs    = flag.Uint64("refs", 0, "default measured references per run (0 = sim default)")
-		seed    = flag.Uint64("seed", 0, "default workload seed (0 = sim default)")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
-		pprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		depth    = flag.Int("queue", 64, "bounded job-queue depth (extra submissions get 503)")
+		warmup   = flag.Uint64("warmup", 0, "default warm-up references per run (0 = sim default)")
+		refs     = flag.Uint64("refs", 0, "default measured references per run (0 = sim default)")
+		seed     = flag.Uint64("seed", 0, "default workload seed (0 = sim default)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		events   = flag.Bool("events", false, "allow run requests to capture generation-event traces (GET /v1/jobs/{id}/events)")
+		evCap    = flag.Int("events-cap", 0, "per-job event ring capacity with -events (0 = 65536)")
+		logLevel = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	)
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "tkserve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger) // sim-layer warnings (e.g. ignored TK_AUDIT) share the handler
 
 	base := sim.Default()
 	if *warmup > 0 {
@@ -57,7 +85,15 @@ func main() {
 		base.Seed = *seed
 	}
 
-	srv := serve.New(serve.Config{Base: base, Workers: *workers, QueueDepth: *depth, Pprof: *pprof})
+	srv := serve.New(serve.Config{
+		Base:       base,
+		Workers:    *workers,
+		QueueDepth: *depth,
+		Pprof:      *pprof,
+		Events:     *events,
+		EventsCap:  *evCap,
+		Logger:     logger,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -65,22 +101,23 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("tkserve: listening on %s (workers=%d queue=%d)", *addr, *workers, *depth)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *depth, "events", *events)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("tkserve: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("tkserve: shutting down, draining jobs (budget %s)", *drain)
+	logger.Info("shutting down, draining jobs", "budget", drain.String())
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(sctx); err != nil {
-		log.Printf("tkserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("tkserve: job drain: %v", err)
+		logger.Warn("job drain", "error", err)
 	}
-	log.Printf("tkserve: bye")
+	logger.Info("bye")
 }

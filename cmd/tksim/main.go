@@ -9,13 +9,25 @@
 //	tksim -bench ammp -prefetch timekeeping
 //	tksim -bench gcc -sample     # statistical sampling with 95% CIs
 //	tksim -list                  # print the benchmark suite
+//
+// Generation-event tracing (see internal/events and EXPERIMENTS.md):
+//
+//	tksim -bench twolf -events-out trace.json -events-sets 0:3
+//	tksim -bench mcf -events-out ev.jsonl -events-kinds fill,evict
+//
+// -events-out writes a Perfetto-compatible Chrome trace (open with
+// ui.perfetto.dev); a .jsonl suffix selects the compact JSONL stream
+// instead. -events-sets and -events-kinds filter capture at emit time;
+// -events-cap bounds the ring (oldest events are dropped on overflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"timekeeping/internal/events"
 	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/trace"
@@ -37,6 +49,10 @@ func main() {
 		dropSWPF = flag.Bool("drop-swprefetch", false, "ignore compiler software prefetches")
 		smp      = flag.Bool("sample", false, "statistical sampling: alternate functional warming with detailed windows, report 95% CIs")
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: keep sampling until the IPC estimate's relative CI half-width is at most this (e.g. 0.02)")
+		evOut    = flag.String("events-out", "", "capture generation events and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
+		evSets   = flag.String("events-sets", "", "restrict event capture to these L1 sets, e.g. 0:3 or 5,9,12 (default: all)")
+		evKinds  = flag.String("events-kinds", "", "restrict event capture to these kinds, e.g. fill,hit,evict (default: all)")
+		evCap    = flag.Int("events-cap", 0, "event ring capacity; oldest events drop on overflow (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -78,6 +94,22 @@ func main() {
 		opt.Sampling = pol
 	}
 
+	var sink *events.Sink
+	if *evOut != "" {
+		kinds, kerr := events.ParseKinds(*evKinds)
+		if kerr != nil {
+			fmt.Fprintln(os.Stderr, kerr)
+			os.Exit(2)
+		}
+		sets, serr := events.ParseSets(*evSets)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(2)
+		}
+		sink = events.NewSink(events.Config{Cap: *evCap, Kinds: kinds, Sets: sets})
+		opt.Events = sink
+	}
+
 	var res sim.Result
 	if *traceIn != "" {
 		f, ferr := os.Open(*traceIn)
@@ -107,6 +139,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if sink != nil {
+		if werr := writeEvents(sink, *evOut); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "events: %d captured (%d dropped) -> %s\n",
+			sink.Len(), sink.Dropped(), *evOut)
 	}
 
 	fmt.Printf("bench        %s\n", res.Bench)
@@ -148,4 +189,22 @@ func main() {
 		fmt.Printf("zero-live    accuracy %.3f coverage %.3f\n", m.ZeroLive.Accuracy(), m.ZeroLive.Coverage())
 		fmt.Printf("live-pred    accuracy %.3f coverage %.3f\n", m.LivePred.Accuracy(), m.LivePred.PredictionRate())
 	}
+}
+
+// writeEvents exports the capture: Chrome trace-event JSON by default,
+// compact JSONL when the path ends in .jsonl.
+func writeEvents(sink *events.Sink, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = sink.WriteJSONL(f)
+	} else {
+		err = sink.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -76,5 +76,11 @@ func (m *MSHRFile) InFlight(now uint64) int {
 	return len(m.entries)
 }
 
+// Len returns the number of entries currently held without retiring —
+// the in-flight count as of the last call that advanced the file's
+// time. Use on hot paths right after an Allocate/Commit pair, where
+// retirement has already run and iterating the file again buys nothing.
+func (m *MSHRFile) Len() int { return len(m.entries) }
+
 // Cap returns the file's capacity.
 func (m *MSHRFile) Cap() int { return m.cap }

@@ -22,6 +22,7 @@ package decay
 import (
 	"fmt"
 
+	"timekeeping/internal/events"
 	"timekeeping/internal/hier"
 )
 
@@ -36,7 +37,13 @@ type Sim struct {
 	lastNow  uint64
 	firstNow uint64
 	started  bool
+	events   *events.Sink
 }
+
+// SetEvents attaches the generation-event sink (nil detaches): one Decay
+// event per (idle period, exceeded interval), stamped at the cycle the
+// line would have been gated off.
+func (s *Sim) SetEvents(sk *events.Sink) { s.events = sk }
 
 type frameState struct {
 	lastAccess uint64
@@ -95,6 +102,13 @@ func (s *Sim) OnAccess(ev *hier.AccessEvent) {
 					// The line had decayed under this interval but the
 					// program wanted the data: an induced miss.
 					t.extraMisses++
+				}
+				if s.events != nil {
+					induced := uint64(0)
+					if ev.Hit {
+						induced = 1
+					}
+					s.events.Emit(events.Event{Kind: events.Decay, Cycle: f.lastAccess + iv, Block: ev.Block, Frame: int32(ev.Frame), A: iv, B: induced})
 				}
 			}
 		}

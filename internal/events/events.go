@@ -1,0 +1,472 @@
+// Package events is the simulator's generation-event tracing layer: a
+// low-overhead sink that records cache-generation lifecycle events (fills,
+// demand hits, evictions with their dead times, decay, prefetch issue and
+// fill, victim-cache offer/admit/hit, MSHR occupancy marks) with both
+// sim-cycle and reference-index timestamps, plus run-level spans
+// (warm-up, measurement windows, functional-warming stretches,
+// per-experiment points) carrying wall-clock and sim-clock extents.
+//
+// Where internal/obs answers "how much" (counters, histograms), this
+// package answers "when": it makes a single generation — live time, dead
+// time, the accesses inside it — visible on a timeline, reproducing the
+// paper's Figure 2/3-style per-frame views from a real run.
+//
+// Design constraints, in the same discipline as internal/obs:
+//
+//   - A nil *Sink is valid everywhere and does nothing, so instrumented
+//     code pays one untaken branch when tracing is off; the disabled path
+//     is zero-allocation (verified by AllocsPerRun tests and a benchmark
+//     guard).
+//   - The enabled path allocates nothing per event: events are fixed-size
+//     values written into a preallocated bounded ring. When the ring is
+//     full the oldest event is overwritten (and counted as dropped), so a
+//     run can never grow memory without bound.
+//   - Per-set, address-range and event-kind filters are applied at emit
+//     time, so full-detail capture of a few sets stays cheap at corpus
+//     scale.
+//
+// Exporters render the captured ring as a Chrome trace-event JSON file
+// (Perfetto-compatible; each traced L1 frame is a track, live/dead
+// generation intervals are colored slices) or as a compact JSONL stream
+// for programmatic consumption. See export.go.
+package events
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timekeeping/internal/obs"
+)
+
+// Process-cumulative tracing counters, rendered by tkserve's /metrics:
+// events recorded into rings versus events overwritten before export.
+var (
+	ctrEmitted = obs.Default.Counter("sim_events_emitted_total")
+	ctrDropped = obs.Default.Counter("sim_events_dropped_total")
+)
+
+// Kind identifies one generation-lifecycle event.
+type Kind uint8
+
+// Event kinds. Fill/Hit/Evict carry a generation through its lifecycle;
+// the victim, prefetch, MSHR and decay kinds annotate the mechanisms the
+// paper builds on top of generational time.
+const (
+	// Fill is a demand miss installing a block into an L1 frame (A is the
+	// cycle the data arrives, B the classify.MissKind).
+	Fill Kind = iota
+	// Hit is a demand hit on a resident block (A is the data-ready cycle).
+	Hit
+	// Evict is a block leaving the L1 on a fill (A is the frame's dead
+	// time at eviction, B is flag bits — see EvictZeroLive and friends).
+	Evict
+	// VictimHit is an L1 miss satisfied by the victim buffer.
+	VictimHit
+	// VictimOffer is an eviction presented to the victim buffer (A is the
+	// dead time the admission filter saw).
+	VictimOffer
+	// VictimAdmit is an offer the admission filter accepted (A as Offer).
+	VictimAdmit
+	// PrefetchIssue is a prefetch entering the memory system (A is its
+	// arrival cycle, B the request ID).
+	PrefetchIssue
+	// PrefetchFill is prefetched data arriving in the L1 (A is 1 when the
+	// block was installed, 0 when it was already resident; B the request
+	// ID).
+	PrefetchFill
+	// MSHR is a demand-MSHR occupancy mark taken after a miss allocation
+	// (A is entries in flight, B the file's capacity).
+	MSHR
+	// Decay marks a frame whose idle period exceeded a decay interval
+	// (A is the interval in cycles, B is 1 when the line was re-accessed
+	// afterwards — an induced miss under that interval).
+	Decay
+
+	numKinds
+)
+
+// kindNames are the stable wire names (JSONL, -events-kinds).
+var kindNames = [numKinds]string{
+	"fill", "hit", "evict",
+	"victim_hit", "victim_offer", "victim_admit",
+	"prefetch_issue", "prefetch_fill",
+	"mshr", "decay",
+}
+
+// String returns the kind's stable wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// Evict/VictimOffer flag bits carried in Event.B.
+const (
+	// EvictZeroLive marks a victim that was never hit after its fill.
+	EvictZeroLive = 1 << iota
+	// EvictDirty marks a victim that was written back.
+	EvictDirty
+	// EvictByPrefetch marks a displacement by a prefetch fill.
+	EvictByPrefetch
+)
+
+// KindMask selects a subset of kinds; the zero mask selects every kind.
+type KindMask uint32
+
+// MaskOf builds a mask selecting exactly the given kinds.
+func MaskOf(kinds ...Kind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Has reports whether the mask selects k (a zero mask selects all).
+func (m KindMask) Has(k Kind) bool { return m == 0 || m&(1<<k) != 0 }
+
+// ParseKinds parses a comma-separated kind list ("fill,evict,hit") into a
+// mask; an empty string selects every kind. The error names the accepted
+// values.
+func ParseKinds(s string) (KindMask, error) {
+	if s == "" {
+		return 0, nil
+	}
+	var m KindMask
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		found := false
+		for k := Kind(0); k < numKinds; k++ {
+			if part == kindNames[k] {
+				m |= 1 << k
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("events: unknown kind %q (accepted: %s)", part, strings.Join(kindNames[:], " | "))
+		}
+	}
+	return m, nil
+}
+
+// ParseSets parses a set filter: a comma-separated list whose elements are
+// single set indices ("5") or inclusive ranges ("0:3"). An empty string
+// means no filter (every set).
+func ParseSets(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, ":"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a < 0 || b < a {
+				return nil, fmt.Errorf("events: bad set range %q (want LO:HI with 0 <= LO <= HI)", part)
+			}
+			for i := a; i <= b; i++ {
+				out = append(out, i)
+			}
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("events: bad set index %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Event is one recorded occurrence. Events are fixed-size values (no
+// pointers) so the ring is a flat allocation and emit copies, never
+// allocates. A and B are kind-specific payloads documented on each Kind.
+type Event struct {
+	Kind  Kind
+	Cycle uint64 // sim-cycle timestamp
+	Ref   uint64 // reference-index timestamp (demand L1 accesses so far)
+	Block uint64 // block-aligned address (0 when not applicable)
+	Frame int32  // L1 frame index, -1 when not applicable
+	Set   int32  // L1 set index (stamped by the sink), -1 when unknown
+	A, B  uint64
+}
+
+// Config selects what a Sink captures.
+type Config struct {
+	// Cap bounds the ring in events (0 = 65536). When full, the oldest
+	// event is overwritten and counted dropped.
+	Cap int
+	// Kinds selects event kinds (zero mask = all).
+	Kinds KindMask
+	// Sets, when non-empty, restricts capture to events on these L1 sets.
+	Sets []int
+	// BlockMin/BlockMax, when BlockMax > 0, restrict capture to events
+	// whose block address falls in [BlockMin, BlockMax].
+	BlockMin, BlockMax uint64
+}
+
+// DefaultCap is the ring capacity when Config.Cap is zero.
+const DefaultCap = 1 << 16
+
+// geometry is the L1 shape Bind publishes: how to map a frame or block
+// to its set, plus the set filter precomputed as a bitmap. Published via
+// an atomic pointer and immutable afterwards, so Emit can stamp and
+// reject filtered events without taking the sink's mutex — the whole
+// point of set-filtered capture is that off-filter sets cost (almost)
+// nothing.
+type geometry struct {
+	setOf   []int32 // frame -> set
+	shift   uint    // block shift, for set-of-block
+	setMask uint64
+	keep    []bool // per-set filter; nil = every set passes
+}
+
+// Sink records events and spans for one run (or one job). Construct with
+// NewSink; a nil *Sink is a valid no-op everywhere.
+type Sink struct {
+	cfg  Config
+	geom atomic.Pointer[geometry] // set by Bind, immutable afterwards
+
+	ref atomic.Uint64 // reference-index clock, advanced by the hierarchy
+
+	mu      sync.Mutex
+	ring    []Event
+	head    int // next slot to write
+	n       int // entries filled
+	dropped uint64
+	emitted uint64
+	spans   []Span
+	open    int // spans with no End yet (diagnostic)
+	wall0   time.Time
+}
+
+// NewSink returns a sink capturing under the given configuration.
+func NewSink(cfg Config) *Sink {
+	if cfg.Cap <= 0 {
+		cfg.Cap = DefaultCap
+	}
+	return &Sink{cfg: cfg, ring: make([]Event, cfg.Cap)}
+}
+
+// Bind teaches the sink the L1 geometry so it can stamp (and filter by)
+// set indices: blockBytes and sets must be powers of two, ways >= 1. The
+// simulation driver calls this once before the run starts; events emitted
+// before Bind carry Set -1 and pass any set filter.
+func (s *Sink) Bind(blockBytes, sets uint64, ways int) {
+	if s == nil {
+		return
+	}
+	g := &geometry{setMask: sets - 1}
+	for b := blockBytes; b > 1; b >>= 1 {
+		g.shift++
+	}
+	g.setOf = make([]int32, sets*uint64(ways))
+	for f := range g.setOf {
+		g.setOf[f] = int32(f / ways)
+	}
+	if len(s.cfg.Sets) > 0 {
+		g.keep = make([]bool, sets)
+		for _, set := range s.cfg.Sets {
+			if set >= 0 && set < len(g.keep) {
+				g.keep[set] = true
+			}
+		}
+	}
+	s.geom.Store(g)
+}
+
+// Enabled reports whether the sink exists (the emit-site guard).
+func (s *Sink) Enabled() bool { return s != nil }
+
+// AdvanceRef advances the reference-index clock by one; the hierarchy
+// calls it once per demand L1 access, so every event carries the index of
+// the access it happened under.
+func (s *Sink) AdvanceRef() {
+	if s == nil {
+		return
+	}
+	s.ref.Add(1)
+}
+
+// Ref returns the current reference index.
+func (s *Sink) Ref() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ref.Load()
+}
+
+// Emit records one event, stamping its Ref and Set, applying the filters,
+// and writing it into the ring. Safe for concurrent use; allocates
+// nothing.
+func (s *Sink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	if !s.cfg.Kinds.Has(ev.Kind) {
+		return
+	}
+	// Stamp the set (from the frame when known, else from the block) and
+	// apply the filters before touching the mutex: in a set-filtered
+	// capture the overwhelming majority of events stop here.
+	ev.Set = -1
+	if g := s.geom.Load(); g != nil {
+		switch {
+		case ev.Frame >= 0 && int(ev.Frame) < len(g.setOf):
+			ev.Set = g.setOf[ev.Frame]
+		case ev.Block != 0:
+			ev.Set = int32((ev.Block >> g.shift) & g.setMask)
+		}
+		// Events with no set information (Set -1) pass any filter.
+		if g.keep != nil && ev.Set >= 0 && !g.keep[ev.Set] {
+			return
+		}
+	}
+	if s.cfg.BlockMax > 0 && ev.Block != 0 &&
+		(ev.Block < s.cfg.BlockMin || ev.Block > s.cfg.BlockMax) {
+		return
+	}
+	ev.Ref = s.ref.Load()
+	s.mu.Lock()
+	s.ring[s.head] = ev
+	s.head++
+	if s.head == len(s.ring) {
+		s.head = 0
+	}
+	overwrote := s.n == len(s.ring)
+	if overwrote {
+		s.dropped++
+	} else {
+		s.n++
+	}
+	s.emitted++
+	s.mu.Unlock()
+	ctrEmitted.Inc()
+	if overwrote {
+		ctrDropped.Inc()
+	}
+}
+
+// Len returns the number of events currently held.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Emitted returns the number of events that passed the filters (dropped
+// ones included).
+func (s *Sink) Emitted() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted
+}
+
+// Dropped returns the number of events overwritten by ring overflow.
+func (s *Sink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Events returns a copy of the held events, oldest first.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out[i] = s.ring[(start+i)%len(s.ring)]
+	}
+	return out
+}
+
+// Span is one run-level interval — a functional-warming stretch, a
+// detailed measurement window, an audited run, or one experiment point —
+// carrying both clocks: sim cycles (zero extent for spans that aggregate
+// several runs, like experiment points) and wall time.
+type Span struct {
+	Name               string
+	SimStart, SimEnd   uint64
+	RefStart, RefEnd   uint64
+	WallStart, WallEnd time.Time
+}
+
+// SpanID identifies an open span; -1 is the nil-sink no-op ID.
+type SpanID int
+
+// BeginSpan opens a span at the given sim cycle (its reference index and
+// wall clock are stamped by the sink) and returns its ID.
+func (s *Sink) BeginSpan(name string, simCycle uint64) SpanID {
+	if s == nil {
+		return -1
+	}
+	now := time.Now()
+	ref := s.ref.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wall0.IsZero() {
+		s.wall0 = now
+	}
+	s.spans = append(s.spans, Span{
+		Name:      name,
+		SimStart:  simCycle,
+		RefStart:  ref,
+		WallStart: now,
+	})
+	s.open++
+	return SpanID(len(s.spans) - 1)
+}
+
+// EndSpan closes the span at the given sim cycle. A second End on the
+// same span, or an End on the nil-sink ID, is a no-op.
+func (s *Sink) EndSpan(id SpanID, simCycle uint64) {
+	if s == nil || id < 0 {
+		return
+	}
+	now := time.Now()
+	ref := s.ref.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.spans) || !s.spans[id].WallEnd.IsZero() {
+		return
+	}
+	sp := &s.spans[id]
+	sp.SimEnd = simCycle
+	sp.RefEnd = ref
+	sp.WallEnd = now
+	s.open--
+}
+
+// Spans returns a copy of the recorded spans in begin order; open spans
+// are included with a zero WallEnd.
+func (s *Sink) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}

@@ -29,7 +29,8 @@ func ExtDecay(r *Runner) []*report.Table {
 		// hand-rolled hierarchy this used before.
 		opts := r.Opts
 		opts.DecayIntervals = decay.DefaultIntervals
-		res, err := r.run(b, opts)
+		opts.Events = r.Events
+		res, err := r.run("ext-decay", b, opts)
 		if err != nil {
 			panic(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"timekeeping/internal/core"
+	"timekeeping/internal/events"
 	"timekeeping/internal/report"
 	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
@@ -65,6 +66,11 @@ type Runner struct {
 	// intervals, resolve through cache keys distinct from exact runs, and
 	// the sweep trades exactness for a several-fold wall-clock reduction.
 	Sampling *sample.Policy
+	// Events, when non-nil, receives generation events and one wall-clock
+	// span per experiment point ("config/bench") that actually simulates.
+	// Points satisfied from the cache emit nothing — the run never
+	// executed. Shared by every run this Runner resolves.
+	Events *events.Sink
 }
 
 // NewRunner returns a Runner at the default simulation scale over the full
@@ -101,6 +107,7 @@ func (r *Runner) options(config string) sim.Options {
 	opts := r.Opts
 	mutate(&opts)
 	opts.Sampling = r.Sampling
+	opts.Events = r.Events
 	return opts
 }
 
@@ -111,18 +118,21 @@ func (r *Runner) Result(config, bench string) sim.Result { return r.get(config, 
 
 // get returns the cached result for (config, bench), running it if needed.
 func (r *Runner) get(config, bench string) sim.Result {
-	res, err := r.run(bench, r.options(config))
+	res, err := r.run(config, bench, r.options(config))
 	if err != nil {
 		panic(fmt.Errorf("experiments: %s/%s: %w", config, bench, err))
 	}
 	return res
 }
 
-// run resolves one (bench, opts) pair through the shared cache; concurrent
-// callers of the same pair simulate once.
-func (r *Runner) run(bench string, opts sim.Options) (sim.Result, error) {
+// run resolves one (config, bench, opts) point through the shared cache;
+// concurrent callers of the same pair simulate once. The config name only
+// labels the point's event span — opts alone determine the cache key.
+func (r *Runner) run(config, bench string, opts sim.Options) (sim.Result, error) {
 	spec := workload.MustProfile(bench)
 	res, _, err := r.cache().Do(r.ctx(), simcache.Key(bench, opts), func(ctx context.Context) (sim.Result, error) {
+		span := r.Events.BeginSpan(config+"/"+bench, 0)
+		defer r.Events.EndSpan(span, 0)
 		return sim.RunContext(ctx, spec, opts)
 	})
 	return res, err
@@ -147,7 +157,7 @@ func (r *Runner) ensure(config string, benches []string) {
 			defer func() { <-sem }()
 			// Errors (cancellation) are surfaced by the get that needs
 			// the result; a panic here would tear the process down.
-			_, _ = r.run(bench, opts)
+			_, _ = r.run(config, bench, opts)
 		}(bench)
 	}
 	wg.Wait()

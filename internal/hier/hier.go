@@ -22,6 +22,7 @@ import (
 	"timekeeping/internal/cache"
 	"timekeeping/internal/classify"
 	"timekeeping/internal/dram"
+	"timekeeping/internal/events"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/trace"
 )
@@ -295,6 +296,7 @@ type Hierarchy struct {
 	prefetcher Prefetcher
 	observers  []Observer
 	audit      Auditor
+	events     *events.Sink
 
 	pending []pendingFill
 	stats   Stats
@@ -347,6 +349,14 @@ func (h *Hierarchy) AddObserver(o Observer) { h.observers = append(h.observers, 
 // SetAuditor attaches the lockstep auditor (nil detaches).
 func (h *Hierarchy) SetAuditor(a Auditor) { h.audit = a }
 
+// SetEvents attaches the generation-event sink (nil detaches) and binds
+// the L1 geometry so the sink can stamp set indices. Untraced runs pay a
+// nil check per emit site and nothing else.
+func (h *Hierarchy) SetEvents(s *events.Sink) {
+	h.events = s
+	s.Bind(h.cfg.L1.BlockBytes, h.cfg.L1.Sets(), h.cfg.L1.Ways)
+}
+
 // Stats returns the counters accumulated since the last ResetStats.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
@@ -368,6 +378,9 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 	now := issueAt
 	if now > h.maxNow {
 		h.maxNow = now
+	}
+	if h.events != nil {
+		h.events.AdvanceRef()
 	}
 	h.applyPendingFills(h.maxNow)
 
@@ -422,6 +435,13 @@ func (h *Hierarchy) Access(r trace.Ref, issueAt uint64) (doneAt uint64) {
 		doneAt, l2op = h.miss(&ev, res, block, missKind, write, now)
 	}
 	ev.Done = doneAt
+	if h.events != nil {
+		if res.Hit {
+			h.events.Emit(events.Event{Kind: events.Hit, Cycle: now, Block: block, Frame: int32(res.Frame), A: doneAt})
+		} else {
+			h.events.Emit(events.Event{Kind: events.Fill, Cycle: now, Block: block, Frame: int32(res.Frame), A: doneAt, B: uint64(ev.MissKind)})
+		}
+	}
 
 	// Per-frame counter hardware update.
 	fs := &h.frames[res.Frame]
@@ -493,6 +513,9 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 			ZeroLive: fs.hits == 0,
 		}
 		ev.Victim = res.Victim
+		if h.events != nil {
+			h.events.Emit(events.Event{Kind: events.Evict, Cycle: now, Block: res.Victim.Addr, Frame: int32(res.Frame), A: dead, B: evictFlags(&evict)})
+		}
 		if h.victim != nil {
 			h.victim.Offer(evict)
 		}
@@ -537,7 +560,25 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 		}
 	}
 	h.demandMSHR.Commit(block, done)
+	if h.events != nil {
+		h.events.Emit(events.Event{Kind: events.MSHR, Cycle: now, Frame: -1, A: uint64(h.demandMSHR.Len()), B: uint64(h.cfg.DemandMSHRs)})
+	}
 	return done, l2op
+}
+
+// evictFlags packs an Eviction's booleans into an events payload.
+func evictFlags(ev *Eviction) uint64 {
+	var f uint64
+	if ev.ZeroLive {
+		f |= events.EvictZeroLive
+	}
+	if ev.Victim.Dirty {
+		f |= events.EvictDirty
+	}
+	if ev.Prefetch {
+		f |= events.EvictByPrefetch
+	}
+	return f
 }
 
 // AccessFunctional implements cpu.FunctionalMemSystem: the contents-only
@@ -553,6 +594,9 @@ func (h *Hierarchy) miss(ev *AccessEvent, res cache.Result, block uint64, kind c
 func (h *Hierarchy) AccessFunctional(r trace.Ref, now uint64) {
 	if now > h.maxNow {
 		h.maxNow = now
+	}
+	if h.events != nil {
+		h.events.AdvanceRef()
 	}
 	if len(h.pending) > 0 {
 		h.applyPendingFills(h.maxNow)
@@ -578,6 +622,13 @@ func (h *Hierarchy) AccessFunctional(r trace.Ref, now uint64) {
 		h.stats.Hits++
 	} else {
 		h.missFunctional(&ev, res, block, write, now)
+	}
+	if h.events != nil {
+		if res.Hit {
+			h.events.Emit(events.Event{Kind: events.Hit, Cycle: now, Block: block, Frame: int32(res.Frame), A: now})
+		} else {
+			h.events.Emit(events.Event{Kind: events.Fill, Cycle: now, Block: block, Frame: int32(res.Frame), A: now, B: uint64(ev.MissKind)})
+		}
 	}
 
 	// Per-frame counter hardware update, identical to Access.
@@ -629,15 +680,19 @@ func (h *Hierarchy) missFunctional(ev *AccessEvent, res cache.Result, block uint
 			dead = 0
 		}
 		ev.Victim = res.Victim
+		evict := Eviction{
+			Now:      now,
+			Victim:   res.Victim,
+			Frame:    res.Frame,
+			Incoming: block,
+			DeadTime: dead,
+			ZeroLive: fs.hits == 0,
+		}
+		if h.events != nil {
+			h.events.Emit(events.Event{Kind: events.Evict, Cycle: now, Block: res.Victim.Addr, Frame: int32(res.Frame), A: dead, B: evictFlags(&evict)})
+		}
 		if h.victim != nil {
-			h.victim.Offer(Eviction{
-				Now:      now,
-				Victim:   res.Victim,
-				Frame:    res.Frame,
-				Incoming: block,
-				DeadTime: dead,
-				ZeroLive: fs.hits == 0,
-			})
+			h.victim.Offer(evict)
 		}
 		if res.Victim.Dirty {
 			h.stats.Writebacks++
@@ -713,6 +768,9 @@ func (h *Hierarchy) issuePrefetches(now uint64) {
 			done = h.mem.Access(memBusDone)
 		}
 		h.prefetchMSHR.Commit(req.Block, done)
+		if h.events != nil {
+			h.events.Emit(events.Event{Kind: events.PrefetchIssue, Cycle: now, Block: req.Block, Frame: -1, A: done, B: req.ID})
+		}
 		h.pending = append(h.pending, pendingFill{id: req.ID, block: req.Block, arriveAt: done})
 	}
 }
@@ -748,22 +806,33 @@ func (h *Hierarchy) completePending(i int) {
 	if h.audit != nil {
 		h.audit.AuditPrefetchFill(p.arriveAt, p.block, !res.Hit, res.Victim)
 	}
+	if h.events != nil {
+		installed := uint64(0)
+		if !res.Hit {
+			installed = 1
+		}
+		h.events.Emit(events.Event{Kind: events.PrefetchFill, Cycle: p.arriveAt, Block: p.block, Frame: int32(res.Frame), A: installed, B: p.id})
+	}
 	if !res.Hit && res.Victim.Valid {
 		fs := &h.frames[res.Frame]
 		var dead uint64
 		if fs.lastAccess < p.arriveAt {
 			dead = p.arriveAt - fs.lastAccess
 		}
+		evict := Eviction{
+			Now:      p.arriveAt,
+			Victim:   res.Victim,
+			Frame:    res.Frame,
+			Incoming: p.block,
+			DeadTime: dead,
+			ZeroLive: fs.hits == 0,
+			Prefetch: true,
+		}
+		if h.events != nil {
+			h.events.Emit(events.Event{Kind: events.Evict, Cycle: p.arriveAt, Block: res.Victim.Addr, Frame: int32(res.Frame), A: dead, B: evictFlags(&evict)})
+		}
 		if h.victim != nil {
-			h.victim.Offer(Eviction{
-				Now:      p.arriveAt,
-				Victim:   res.Victim,
-				Frame:    res.Frame,
-				Incoming: p.block,
-				DeadTime: dead,
-				ZeroLive: fs.hits == 0,
-				Prefetch: true,
-			})
+			h.victim.Offer(evict)
 		}
 	}
 	if !res.Hit {

@@ -3,8 +3,10 @@ package sample
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"timekeeping/internal/cpu"
+	"timekeeping/internal/events"
 	"timekeeping/internal/hier"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/trace"
@@ -42,6 +44,12 @@ type Config struct {
 
 	// Warmables have their recording suspended outside detailed windows.
 	Warmables []Warmable
+
+	// Events, when non-nil, receives run-level spans — one per
+	// functional-warming stretch and one per detailed window — so the
+	// sampling schedule is visible on the same trace as the generation
+	// events. Nil is a valid no-op.
+	Events *events.Sink
 }
 
 // Outcome is a sampled run's aggregate: the statistical estimate plus the
@@ -100,10 +108,13 @@ func Run(ctx context.Context, cfg Config) (Outcome, error) {
 
 	warm := func(refs uint64) (ended bool, err error) {
 		cfg.Progress.SetPhase(obs.PhaseWarmup)
+		span := cfg.Events.BeginSpan("functional-warm", cfg.CPU.Now())
 		pre := cfg.CPU.Snapshot().Refs
 		if _, err := cfg.CPU.RunFunctional(ctx, cfg.Stream, refs, pol.NominalCPI); err != nil {
+			cfg.Events.EndSpan(span, cfg.CPU.Now())
 			return false, err
 		}
+		cfg.Events.EndSpan(span, cfg.CPU.Now())
 		done := cfg.CPU.Snapshot().Refs - pre
 		ctrWarmRefs.Add(done)
 		est.WarmRefs += done
@@ -113,10 +124,13 @@ func Run(ctx context.Context, cfg Config) (Outcome, error) {
 	// detailed runs the detailed path unrecorded — the per-window warm
 	// prefix that refills OoO/MSHR/bus state before measurement starts.
 	detailed := func(refs uint64) (ended bool, err error) {
+		span := cfg.Events.BeginSpan("detailed-warm", cfg.CPU.Now())
 		pre := cfg.CPU.Snapshot().Refs
 		if _, err := cfg.CPU.RunContext(ctx, cfg.Stream, refs); err != nil {
+			cfg.Events.EndSpan(span, cfg.CPU.Now())
 			return false, err
 		}
+		cfg.Events.EndSpan(span, cfg.CPU.Now())
 		done := cfg.CPU.Snapshot().Refs - pre
 		est.DetailedRefs += done
 		ctrDetailedRefs.Add(done)
@@ -142,7 +156,9 @@ func Run(ctx context.Context, cfg Config) (Outcome, error) {
 		preCPU := cfg.CPU.Snapshot()
 		preHier := cfg.Hier.Stats()
 		recording(true)
+		span := cfg.Events.BeginSpan(fmt.Sprintf("window %d", w), cfg.CPU.Now())
 		post, err := cfg.CPU.RunContext(ctx, cfg.Stream, pol.DetailedRefs)
+		cfg.Events.EndSpan(span, cfg.CPU.Now())
 		recording(false)
 		if err != nil {
 			return agg, err

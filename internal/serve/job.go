@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
+	"timekeeping/internal/events"
 	"timekeeping/internal/obs"
 	"timekeeping/pkg/api"
 )
@@ -23,6 +25,7 @@ var ErrDraining = errors.New("serve: shutting down")
 type job struct {
 	snap   api.JobView
 	prog   *obs.Progress
+	events *events.Sink // immutable after submit; nil unless capture was requested
 	ctx    context.Context
 	cancel context.CancelFunc
 	run    func(ctx context.Context, j *job) error
@@ -43,6 +46,7 @@ type manager struct {
 	// a lock order on render-time func gauges).
 	reg  *obs.Registry
 	wall *obs.Histogram
+	log  *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -54,7 +58,7 @@ type manager struct {
 	nDone, nFailed, nCanceled uint64
 }
 
-func newManager(workers, depth int, reg *obs.Registry) *manager {
+func newManager(workers, depth int, reg *obs.Registry, log *slog.Logger) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		queue:      make(chan *job, depth),
@@ -62,6 +66,7 @@ func newManager(workers, depth int, reg *obs.Registry) *manager {
 		baseCancel: cancel,
 		reg:        reg,
 		wall:       reg.Histogram("tkserve_job_wall_seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}),
+		log:        log,
 		jobs:       make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
@@ -74,14 +79,15 @@ func newManager(workers, depth int, reg *obs.Registry) *manager {
 // submit registers and enqueues a job whose work is fn. parent is the
 // context the job's own context derives from: the HTTP request context
 // for synchronous jobs, nil for async jobs (detached; cancelled via
-// cancelJob or shutdown).
-func (m *manager) submit(kind, target string, parent context.Context, fn func(context.Context, *job) error) (*job, error) {
+// cancelJob or shutdown). sink, when non-nil, is the job's event capture.
+func (m *manager) submit(kind, target string, parent context.Context, sink *events.Sink, fn func(context.Context, *job) error) (*job, error) {
 	if parent == nil {
 		parent = m.baseCtx
 	}
 	ctx, cancel := context.WithCancel(parent)
 	j := &job{
 		prog:   new(obs.Progress),
+		events: sink,
 		ctx:    ctx,
 		cancel: cancel,
 		run:    fn,
@@ -126,6 +132,7 @@ func (m *manager) submit(kind, target string, parent context.Context, fn func(co
 	m.order = append(m.order, j.snap.ID)
 	m.queued++
 	m.mu.Unlock()
+	m.log.Info("job queued", "job_id", j.snap.ID, "kind", kind, "target", target, "events", sink != nil)
 	return j, nil
 }
 
@@ -144,6 +151,7 @@ func (m *manager) worker() {
 		j.snap.Status = api.StatusRunning
 		j.snap.StartedAt = &now
 		m.mu.Unlock()
+		m.log.Info("job started", "job_id", j.snap.ID, "kind", j.snap.Kind, "target", j.snap.Target)
 
 		err := m.exec(j)
 		j.cancel()
@@ -171,6 +179,11 @@ func (m *manager) worker() {
 
 		if err == nil {
 			j.prog.SetPhase(obs.PhaseDone)
+		}
+		if err != nil {
+			m.log.Warn("job finished", "job_id", snap.ID, "status", string(snap.Status), "wall_ms", snap.WallMS, "error", snap.Error)
+		} else {
+			m.log.Info("job finished", "job_id", snap.ID, "status", string(snap.Status), "wall_ms", snap.WallMS)
 		}
 		m.wall.Observe(snap.WallMS / 1000)
 		// The live gauges end with the run; history stays in the job table.

@@ -142,6 +142,13 @@ func TestMetricsNames(t *testing.T) {
 		"sim_l2_writebacks_total",
 		"sim_prefetch_issued_total",
 		"sim_prefetch_useful_total",
+		// statistical sampling (process-wide registry)
+		"sim_sample_windows_total",
+		"sim_sample_warm_refs_total",
+		"sim_sample_detailed_refs_total",
+		// generation-event tracing (process-wide registry)
+		"sim_events_emitted_total",
+		"sim_events_dropped_total",
 		// service (per-server registry)
 		"tkserve_jobs_queued",
 		"tkserve_jobs_running",

@@ -16,6 +16,7 @@
 //	GET    /v1/jobs                  list jobs
 //	GET    /v1/jobs/{id}             job status + result
 //	GET    /v1/jobs/{id}/progress    SSE stream of progress snapshots
+//	GET    /v1/jobs/{id}/events      download the job's generation-event trace
 //	DELETE /v1/jobs/{id}             cancel a job
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus-style text metrics (obs registry)
@@ -27,10 +28,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
+	"time"
 
+	"timekeeping/internal/events"
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/sample"
@@ -54,15 +60,31 @@ type Config struct {
 	Cache *simcache.Store
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
+	// Events allows run requests to capture generation-event traces
+	// (internal/events), downloadable via GET /v1/jobs/{id}/events.
+	// Off by default: capture holds up to EventsCap events per job in
+	// memory for the job's lifetime.
+	Events bool
+	// EventsCap bounds each job's event ring — the size cap on what
+	// /v1/jobs/{id}/events can return (0: events.DefaultCap). Oldest
+	// events drop on overflow.
+	EventsCap int
+	// Logger receives structured request and job lifecycle logs (nil:
+	// logging disabled).
+	Logger *slog.Logger
 }
 
 // Server is one tkserve instance. Create with New; serve s.Handler().
 type Server struct {
-	base  sim.Options
-	cache *simcache.Store
-	reg   *obs.Registry
-	mgr   *manager
-	mux   *http.ServeMux
+	base      sim.Options
+	cache     *simcache.Store
+	reg       *obs.Registry
+	mgr       *manager
+	mux       *http.ServeMux
+	log       *slog.Logger
+	events    bool
+	eventsCap int
+	reqSeq    atomic.Uint64
 }
 
 // New builds a Server and starts its worker pool.
@@ -81,12 +103,18 @@ func New(cfg Config) *Server {
 		// have MeasureRefs == 0, so it marks the zero value.
 		cfg.Base = sim.Default()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		base:  cfg.Base,
-		cache: cfg.Cache,
-		reg:   reg,
-		mgr:   newManager(cfg.Workers, cfg.QueueDepth, reg),
+		base:      cfg.Base,
+		cache:     cfg.Cache,
+		reg:       reg,
+		mgr:       newManager(cfg.Workers, cfg.QueueDepth, reg, cfg.Logger),
+		log:       cfg.Logger,
+		events:    cfg.Events,
+		eventsCap: cfg.EventsCap,
 	}
 	s.registerMetrics()
 	s.mux = http.NewServeMux()
@@ -97,6 +125,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	if cfg.Pprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -108,8 +137,64 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the API mux wrapped in
+// per-request structured logging (request IDs on every line).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("r%d", s.reqSeq.Add(1))
+		lw := &loggingWriter{ResponseWriter: w}
+		start := time.Now()
+		s.mux.ServeHTTP(lw, r)
+		s.log.Info("request",
+			"request_id", rid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", lw.status(),
+			"bytes", lw.bytes,
+			"dur_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// loggingWriter records the status code and byte count for the request
+// log. It forwards Flush so SSE streaming (/progress) keeps working
+// through the wrapper.
+type loggingWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *loggingWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *loggingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *loggingWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
 
 // Registry returns the server's metrics registry (service-level metrics;
 // the simulator core's cumulative counters live in obs.Default).
@@ -219,10 +304,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, aerr)
 		return
 	}
+	var sink *events.Sink
+	if req.Events {
+		if !s.events {
+			writeError(w, http.StatusBadRequest, &api.Error{
+				Code:    api.CodeBadRequest,
+				Message: "event capture is disabled on this server (start tkserve with -events)",
+			})
+			return
+		}
+		sink = events.NewSink(events.Config{Cap: s.eventsCap})
+	}
 
 	key := simcache.Key(spec.Name, opt)
 	fn := func(ctx context.Context, j *job) error {
 		opt.Progress = j.prog
+		opt.Events = j.events // nil unless the request asked for capture
 		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
 			return sim.RunContext(ctx, spec, opt)
 		})
@@ -242,7 +339,41 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 		return err
 	}
-	s.dispatch(w, r, "run", spec.Name, req.Async, fn)
+	s.dispatch(w, r, "run", spec.Name, req.Async, sink, fn)
+}
+
+// handleEvents serves a job's generation-event capture: Chrome trace-event
+// JSON (Perfetto-compatible) by default, compact JSONL with ?format=jsonl.
+// The capture is bounded by Config.EventsCap and exists only for run jobs
+// that asked for it ("events": true). A capture from a cache-hit run is
+// empty — the simulation executed elsewhere (or not at all).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, unknownJob(id))
+		return
+	}
+	if j.events == nil {
+		writeError(w, http.StatusBadRequest, &api.Error{
+			Code:    api.CodeBadRequest,
+			Message: fmt.Sprintf("serve: job %s has no event capture (submit the run with \"events\": true)", id),
+		})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = j.events.WriteChromeTrace(w) // a gone client is the only failure
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = j.events.WriteJSONL(w)
+	default:
+		writeError(w, http.StatusBadRequest, &api.Error{
+			Code:    api.CodeBadRequest,
+			Message: fmt.Sprintf("serve: unknown events format %q (want chrome or jsonl)", format),
+		})
+	}
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
@@ -296,18 +427,19 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		s.mgr.update(j, func(snap *api.JobView) { snap.Tables = tableViews(tables) })
 		return nil
 	}
-	s.dispatch(w, r, "experiment", id, req.Async, fn)
+	s.dispatch(w, r, "experiment", id, req.Async, nil, fn)
 }
 
 // dispatch submits a job and replies: async jobs get an immediate 202
 // snapshot, synchronous jobs block until done (the request context is the
-// job's context, so a disconnected client cancels the work).
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target string, async bool, fn func(context.Context, *job) error) {
+// job's context, so a disconnected client cancels the work). sink, when
+// non-nil, becomes the job's event capture (served by /v1/jobs/{id}/events).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target string, async bool, sink *events.Sink, fn func(context.Context, *job) error) {
 	parent := r.Context()
 	if async {
 		parent = nil // detach from the request; lives until done or cancelled
 	}
-	j, err := s.mgr.submit(kind, target, parent, fn)
+	j, err := s.mgr.submit(kind, target, parent, sink, fn)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, &api.Error{Code: api.CodeQueueFull, Message: err.Error()})

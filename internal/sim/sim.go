@@ -8,12 +8,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"timekeeping/internal/core"
 	"timekeeping/internal/cpu"
 	"timekeeping/internal/decay"
+	"timekeeping/internal/events"
 	"timekeeping/internal/hier"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/oracle"
@@ -182,6 +184,15 @@ type Options struct {
 	// entry. A multi-run job may share one handle across runs; Expected
 	// then accumulates.
 	Progress *obs.Progress `json:"-"`
+
+	// Events, when non-nil, captures generation-lifecycle events (fills,
+	// hits, evictions with dead times, victim/prefetch/decay activity) and
+	// run spans into the sink's bounded ring (internal/events) for later
+	// export as a Perfetto trace or JSONL. Like Progress it does not
+	// affect simulation behaviour and is excluded from content hashing —
+	// but note that a simcache hit therefore yields an empty capture (the
+	// run never executed). A multi-run job may share one sink.
+	Events *events.Sink `json:"-"`
 }
 
 // Default returns the paper's baseline configuration at a simulation scale
@@ -282,6 +293,9 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	}
 
 	h := hier.New(opt.Hier)
+	if opt.Events != nil {
+		h.SetEvents(opt.Events)
+	}
 
 	var vc *victim.Cache
 	if opt.VictimFilter != VictimOff {
@@ -309,6 +323,9 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 			return Result{}, fmt.Errorf("sim: unknown victim filter %q", opt.VictimFilter)
 		}
 		vc = victim.New(entries, filter)
+		if opt.Events != nil {
+			vc.SetEvents(opt.Events)
+		}
 		h.AttachVictim(vc)
 	}
 
@@ -351,6 +368,9 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	var dec *decay.Sim
 	if len(opt.DecayIntervals) > 0 {
 		dec = decay.New(h.L1().NumFrames(), opt.DecayIntervals)
+		if opt.Events != nil {
+			dec.SetEvents(opt.Events)
+		}
 		h.AddObserver(dec)
 	}
 
@@ -358,6 +378,10 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 	// Sampled runs never attach the auditor: an explicit Audit was
 	// rejected above, and TK_AUDIT-forced audit cannot apply (the
 	// functional path performs no timing for the oracle to mirror).
+	if opt.Sampling != nil && !opt.Audit && auditForced() {
+		slog.Warn("TK_AUDIT ignored: sampled runs cannot be audited (functional warming has no timing for the oracle to mirror)",
+			"bench", name)
+	}
 	if opt.Sampling == nil && (opt.Audit || auditForced()) {
 		// The tracker and decay cross-checks are frame-keyed on the real
 		// side and block-keyed on the oracle side; the two agree only
@@ -400,6 +424,7 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 			MeasureRefs: opt.MeasureRefs,
 			Progress:    opt.Progress,
 			Warmables:   warmables,
+			Events:      opt.Events,
 		})
 		if err != nil {
 			return Result{}, err
@@ -417,7 +442,14 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		// PhaseDone is the job owner's call — a sweep runs many
 		// simulations under one handle.
 		opt.Progress.Begin(obs.PhaseWarmup, opt.WarmupRefs+opt.MeasureRefs)
+		runName := "run"
+		if aud != nil {
+			runName = "audited-run"
+		}
+		runSpan := opt.Events.BeginSpan(runName, m.Now())
+		warmSpan := opt.Events.BeginSpan("warmup", m.Now())
 		warm, err := runPhase(ctx, m, stream, opt.WarmupRefs)
+		opt.Events.EndSpan(warmSpan, m.Now())
 		if err != nil {
 			return Result{}, err
 		}
@@ -444,7 +476,10 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		}
 
 		opt.Progress.SetPhase(obs.PhaseMeasure)
+		measureSpan := opt.Events.BeginSpan("measure", m.Now())
 		final, err := runPhase(ctx, m, stream, opt.MeasureRefs)
+		opt.Events.EndSpan(measureSpan, m.Now())
+		opt.Events.EndSpan(runSpan, m.Now())
 		if err != nil {
 			return Result{}, err
 		}

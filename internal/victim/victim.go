@@ -16,6 +16,7 @@ package victim
 import (
 	"timekeeping/internal/clock"
 	"timekeeping/internal/core"
+	"timekeeping/internal/events"
 	"timekeeping/internal/hier"
 )
 
@@ -140,6 +141,7 @@ type Cache struct {
 	filter  Filter
 	stamp   uint64
 	stats   Stats
+	events  *events.Sink
 }
 
 // New returns a victim cache with `size` entries and the given admission
@@ -158,10 +160,16 @@ func New(size int, filter Filter) *Cache {
 // replacement.
 func (c *Cache) Offer(ev hier.Eviction) {
 	c.stats.Offered++
+	if c.events != nil {
+		c.events.Emit(events.Event{Kind: events.VictimOffer, Cycle: ev.Now, Block: ev.Victim.Addr, Frame: int32(ev.Frame), A: ev.DeadTime})
+	}
 	if !ev.Victim.Valid || !c.filter.Admit(ev) {
 		return
 	}
 	c.stats.Admitted++
+	if c.events != nil {
+		c.events.Emit(events.Event{Kind: events.VictimAdmit, Cycle: ev.Now, Block: ev.Victim.Addr, Frame: int32(ev.Frame), A: ev.DeadTime})
+	}
 	c.stamp++
 	// Already present? Refresh.
 	for i := range c.entries {
@@ -193,11 +201,17 @@ func (c *Cache) Lookup(block uint64, now uint64) bool {
 		if c.entries[i].valid && c.entries[i].block == block {
 			c.entries[i] = entry{}
 			c.stats.Hits++
+			if c.events != nil {
+				c.events.Emit(events.Event{Kind: events.VictimHit, Cycle: now, Block: block, Frame: -1})
+			}
 			return true
 		}
 	}
 	return false
 }
+
+// SetEvents attaches the generation-event sink (nil detaches).
+func (c *Cache) SetEvents(s *events.Sink) { c.events = s }
 
 // Stats returns the counters accumulated since the last ResetStats.
 func (c *Cache) Stats() Stats { return c.stats }

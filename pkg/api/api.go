@@ -73,6 +73,14 @@ type RunRequest struct {
 	// intervals. Rejected (bad_request) when combined with audit mode or
 	// when the policy is invalid.
 	Sampling *SamplingPolicy `json:"sampling,omitempty"`
+	// Events asks the server to capture the run's generation-event trace,
+	// downloadable afterwards via Client.JobEvents (GET
+	// /v1/jobs/{id}/events). Rejected (bad_request) unless the server was
+	// started with event capture enabled; the capture is bounded by the
+	// server's configured ring capacity, and a run satisfied from the
+	// result cache yields an empty capture (the simulation never executed
+	// in this job).
+	Events bool `json:"events,omitempty"`
 	// Async detaches the job from the request: the response is an
 	// immediate 202 with the job ID, polled via GET /v1/jobs/{id} or
 	// streamed via GET /v1/jobs/{id}/progress. Synchronous requests block

@@ -92,6 +92,32 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobView, error) {
 	return &j, nil
 }
 
+// JobEvents downloads a job's generation-event trace into w. format is
+// "chrome" (Perfetto-compatible trace-event JSON; also the default when
+// empty) or "jsonl" (compact one-event-per-line stream). The job must have
+// been submitted with RunRequest.Events on a server with event capture
+// enabled.
+func (c *Client) JobEvents(ctx context.Context, id, format string, w io.Writer) error {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "/events"
+	if format != "" {
+		u += "?format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // WatchProgress streams a job's progress events, calling fn for each one.
 // It returns nil after the terminal event (fn sees it, with Terminal set),
 // the error fn returns if fn aborts the watch, or ctx's error if the
