@@ -12,7 +12,9 @@
 // Flags scale the simulations (-warmup, -refs) and restrict the benchmark
 // set (-benches gcc,mcf,ammp). -sample trades exactness for speed: every
 // run uses statistical sampling (internal/sample) and the sweep resolves
-// through cache keys distinct from exact runs.
+// through cache keys distinct from exact runs. -cache-dir persists run
+// results to a durable store, so re-running an experiment (or sharing the
+// directory between tkexp and tkserve) skips already-computed points.
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/sample"
+	"timekeeping/internal/simcache"
+	"timekeeping/internal/store"
 	"timekeeping/internal/workload"
 )
 
@@ -42,6 +46,7 @@ func main() {
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: per-run target relative CI half-width (e.g. 0.02)")
 		evOut    = flag.String("events-out", "", "capture per-experiment-point run spans (and generation events) and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
 		evCap    = flag.Int("events-cap", 0, "with -events-out: event ring capacity (0 = 65536)")
+		cacheDir = flag.String("cache-dir", "", "durable result cache directory: runs repeated across invocations are answered from disk")
 	)
 	flag.Parse()
 
@@ -67,6 +72,17 @@ func main() {
 	}
 
 	runner := experiments.NewRunner()
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		cache := simcache.New()
+		cache.SetTier(st)
+		runner.Cache = cache
+	}
 	if *progress {
 		prog := new(obs.Progress)
 		runner.Opts.Progress = prog

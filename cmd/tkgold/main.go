@@ -15,6 +15,15 @@
 //	go run ./cmd/tkgold -verify    # same, explicit
 //	go run ./cmd/tkgold -update    # regenerate after an intentional change
 //	go run ./cmd/tkgold -only mcf  # restrict to one benchmark
+//
+// -store-dir audits a durable result store (internal/store, the disk
+// tier behind tkserve/tksim/tkexp -cache-dir) against the corpus without
+// simulating anything: every corpus configuration present in the store
+// must carry exactly the golden stats. Absent entries are reported but
+// are not drift; corrupt entries are quarantined by the store on read
+// and show up as absent.
+//
+//	go run ./cmd/tkgold -store-dir /var/lib/tkserve
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"os"
 
 	"timekeeping/internal/golden"
+	"timekeeping/internal/simcache"
+	"timekeeping/internal/store"
 	"timekeeping/internal/workload"
 )
 
@@ -40,6 +51,7 @@ func run(args []string, out, errOut io.Writer) int {
 	verify := fs.Bool("verify", false, "verify the corpus (the default; explicit form for scripts)")
 	only := fs.String("only", "", "restrict to one benchmark (full-scale corpus only)")
 	dir := fs.String("dir", golden.Dir(), "corpus directory")
+	storeDir := fs.String("store-dir", "", "audit a durable result store against the corpus instead of re-simulating")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,10 +59,18 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "tkgold: -update and -verify are mutually exclusive")
 		return 2
 	}
+	if *update && *storeDir != "" {
+		fmt.Fprintln(errOut, "tkgold: -update and -store-dir are mutually exclusive (the store is written by runs, not by tkgold)")
+		return 2
+	}
 
 	benches := workload.Names()
 	if *only != "" {
 		benches = []string{*only}
+	}
+
+	if *storeDir != "" {
+		return auditStore(*storeDir, *dir, benches, out, errOut)
 	}
 
 	var drifted []string
@@ -98,6 +118,55 @@ func run(args []string, out, errOut io.Writer) int {
 	if len(drifted) > 0 {
 		fmt.Fprintf(out, "%d entries drifted (%v); regenerate with `go run ./cmd/tkgold -update` if intentional\n",
 			len(drifted), drifted)
+		return 1
+	}
+	return 0
+}
+
+// auditStore checks a disk result tier against the golden corpus without
+// running a single simulation: for each corpus entry, the store is probed
+// at the content-addressed key of the recorded configuration, and any
+// result present must match the golden stats exactly. Reading through the
+// store also exercises its own integrity checks — damaged entries are
+// quarantined and therefore report as absent, never as clean.
+func auditStore(storeDir, corpusDir string, benches []string, out, errOut io.Writer) int {
+	st, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		fmt.Fprintln(errOut, "tkgold:", err)
+		return 1
+	}
+	defer st.Close()
+
+	var drifted []string
+	present := 0
+	for _, b := range benches {
+		want, err := golden.LoadFrom(corpusDir, b)
+		if err != nil {
+			fmt.Fprintf(errOut, "tkgold: %s: %v (run with -update to create the corpus)\n", b, err)
+			return 1
+		}
+		// Reconstruct the configuration the corpus entry was recorded
+		// under; its content hash is the store key.
+		opt := golden.CorpusOptions()
+		opt.WarmupRefs = want.WarmupRefs
+		opt.MeasureRefs = want.MeasureRefs
+		opt.Seed = want.Seed
+		res, ok := st.Get(simcache.Key(b, opt))
+		if !ok {
+			fmt.Fprintf(out, "absent %s\n", b)
+			continue
+		}
+		present++
+		if d := golden.Diff(golden.EntryOf(b, opt, res), want); d != "" {
+			fmt.Fprintf(out, "DRIFT %s: %s\n", b, d)
+			drifted = append(drifted, b)
+		} else {
+			fmt.Fprintf(out, "ok     %s\n", b)
+		}
+	}
+	fmt.Fprintf(out, "%d/%d corpus entries present in %s\n", present, len(benches), storeDir)
+	if len(drifted) > 0 {
+		fmt.Fprintf(out, "%d stored entries drifted (%v); the store holds results the corpus disowns\n", len(drifted), drifted)
 		return 1
 	}
 	return 0

@@ -9,6 +9,10 @@ import (
 	"testing"
 
 	"timekeeping/internal/golden"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/simcache"
+	"timekeeping/internal/store"
+	"timekeeping/internal/workload"
 )
 
 // TestVerifyDetectsCorruption corrupts one stored field in a corpus copy
@@ -73,4 +77,85 @@ func TestUpdateVerifyExclusive(t *testing.T) {
 	if code := run([]string{"-update", "-verify"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
+}
+
+// TestStoreAudit drives the -store-dir mode across its three outcomes:
+// a stored result matching the corpus, a mismatching one, and a store
+// that has never seen the configuration.
+func TestStoreAudit(t *testing.T) {
+	const bench = "eon"
+	opt := golden.CorpusOptions()
+	opt.WarmupRefs, opt.MeasureRefs = 2000, 8000
+	res, err := sim.Run(workload.MustProfile(bench), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := golden.EntryOf(bench, opt, res)
+
+	writeCorpus := func(t *testing.T, e golden.Entry) string {
+		t.Helper()
+		dir := t.TempDir()
+		b, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, bench+".json"), append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	sdir := t.TempDir()
+	st, err := store.Open(sdir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(simcache.Key(bench, opt), res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-store-dir", sdir, "-dir", writeCorpus(t, e), "-only", bench}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("clean audit exited %d:\n%s%s", code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "ok     "+bench) || !strings.Contains(out.String(), "1/1") {
+			t.Errorf("audit output:\n%s", out.String())
+		}
+	})
+
+	t.Run("drift", func(t *testing.T) {
+		bad := e
+		bad.CPU.Cycles += 999
+		var out, errOut bytes.Buffer
+		code := run([]string{"-store-dir", sdir, "-dir", writeCorpus(t, bad), "-only", bench}, &out, &errOut)
+		if code != 1 {
+			t.Fatalf("drifting audit exited %d:\n%s%s", code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "DRIFT "+bench) || !strings.Contains(out.String(), "Cycles") {
+			t.Errorf("audit output:\n%s", out.String())
+		}
+	})
+
+	t.Run("absent", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-store-dir", t.TempDir(), "-dir", writeCorpus(t, e), "-only", bench}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("audit of an empty store exited %d:\n%s%s", code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "absent "+bench) || !strings.Contains(out.String(), "0/1") {
+			t.Errorf("audit output:\n%s", out.String())
+		}
+	})
+
+	t.Run("update_exclusive", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-store-dir", sdir, "-update"}, &out, &errOut); code != 2 {
+			t.Fatalf("exit = %d, want 2", code)
+		}
+	})
 }

@@ -15,6 +15,20 @@
 // generation-event trace, downloaded via GET /v1/jobs/{id}/events
 // (Perfetto-compatible; ?format=jsonl for the compact stream).
 //
+// With -store-dir, results persist to a durable disk tier beneath the
+// in-memory cache: a restarted server answers previously computed
+// configurations from disk without re-simulating. -store-max-bytes caps
+// the tier's footprint (LRU eviction).
+//
+// With -peers (and -node-id naming this node's own URL in that list),
+// the result keyspace shards across a static fleet on a consistent-hash
+// ring: requests whose key another healthy peer owns are proxied there,
+// so the fleet simulates each configuration once; a down owner degrades
+// to local compute.
+//
+//	tkserve -addr :8080 -store-dir /var/lib/tkserve \
+//	        -node-id http://a:8080 -peers http://a:8080,http://b:8080
+//
 // Logs are structured (log/slog) with per-request and per-job IDs:
 // -log-level sets the threshold, -log-json switches to JSON lines.
 //
@@ -32,11 +46,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"timekeeping/internal/cluster"
 	"timekeeping/internal/serve"
 	"timekeeping/internal/sim"
+	"timekeeping/internal/store"
 )
 
 func main() {
@@ -53,6 +70,10 @@ func main() {
 		evCap    = flag.Int("events-cap", 0, "per-job event ring capacity with -events (0 = 65536)")
 		logLevel = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		storeDir = flag.String("store-dir", "", "durable result-store directory (empty = memory-only cache)")
+		storeMax = flag.Int64("store-max-bytes", 0, "disk-tier size cap in bytes with LRU eviction (0 = unlimited)")
+		peers    = flag.String("peers", "", "comma-separated static peer URLs for sharded serving (requires -node-id)")
+		nodeID   = flag.String("node-id", "", "this node's own URL; must appear in -peers")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -85,6 +106,39 @@ func main() {
 		base.Seed = *seed
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Logger: logger})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tkserve: opening -store-dir: %v\n", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		logger.Info("durable result store open", "dir", *storeDir, "entries", st.Stats().Entries, "bytes", st.Stats().Bytes)
+	}
+
+	var cls *cluster.Cluster
+	if *peers != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "tkserve: -peers requires -node-id (this node's own URL in the list)")
+			os.Exit(2)
+		}
+		var err error
+		cls, err = cluster.New(cluster.Config{
+			Self:   *nodeID,
+			Peers:  strings.Split(*peers, ","),
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tkserve: %v\n", err)
+			os.Exit(2)
+		}
+		cls.Start()
+		defer cls.Close()
+		logger.Info("cluster sharding on", "self", *nodeID, "peers", *peers)
+	}
+
 	srv := serve.New(serve.Config{
 		Base:       base,
 		Workers:    *workers,
@@ -93,6 +147,8 @@ func main() {
 		Events:     *events,
 		EventsCap:  *evCap,
 		Logger:     logger,
+		Store:      st,
+		Cluster:    cls,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -10,6 +10,10 @@
 //	tksim -bench gcc -sample     # statistical sampling with 95% CIs
 //	tksim -list                  # print the benchmark suite
 //
+// With -cache-dir, results persist to a durable content-addressed store:
+// repeating an identical workload configuration answers from disk
+// instead of re-simulating (trace-driven runs always simulate).
+//
 // Generation-event tracing (see internal/events and EXPERIMENTS.md):
 //
 //	tksim -bench twolf -events-out trace.json -events-sets 0:3
@@ -22,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +35,8 @@ import (
 	"timekeeping/internal/events"
 	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
+	"timekeeping/internal/simcache"
+	"timekeeping/internal/store"
 	"timekeeping/internal/trace"
 	"timekeeping/internal/workload"
 )
@@ -53,6 +60,7 @@ func main() {
 		evSets   = flag.String("events-sets", "", "restrict event capture to these L1 sets, e.g. 0:3 or 5,9,12 (default: all)")
 		evKinds  = flag.String("events-kinds", "", "restrict event capture to these kinds, e.g. fill,hit,evict (default: all)")
 		evCap    = flag.Int("events-cap", 0, "event ring capacity; oldest events drop on overflow (0 = 65536)")
+		cacheDir = flag.String("cache-dir", "", "durable result cache directory: identical workload runs are answered from disk across invocations")
 	)
 	flag.Parse()
 
@@ -134,7 +142,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "known benchmarks: %v\n", workload.Names())
 			os.Exit(2)
 		}
-		res, err = sim.Run(spec, opt)
+		if *cacheDir != "" {
+			st, oerr := store.Open(*cacheDir, store.Options{})
+			if oerr != nil {
+				fmt.Fprintln(os.Stderr, oerr)
+				os.Exit(1)
+			}
+			defer st.Close()
+			cache := simcache.New()
+			cache.SetTier(st)
+			var outcome simcache.Outcome
+			res, outcome, err = cache.Do(context.Background(), simcache.Key(spec.Name, opt),
+				func(ctx context.Context) (sim.Result, error) { return sim.RunContext(ctx, spec, opt) })
+			if outcome == simcache.Disk {
+				fmt.Fprintf(os.Stderr, "tksim: result served from %s (no simulation ran", *cacheDir)
+				if sink != nil {
+					fmt.Fprint(os.Stderr, "; -events-out trace will be empty")
+				}
+				fmt.Fprintln(os.Stderr, ")")
+			}
+		} else {
+			res, err = sim.Run(spec, opt)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

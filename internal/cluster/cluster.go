@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"timekeeping/internal/obs"
+	"timekeeping/pkg/api"
+)
+
+// Cluster-wide request-routing counters, process-wide so /metrics reports
+// them at zero. The serving layer increments them as it routes.
+var (
+	// MProxied counts run requests forwarded to their owning peer.
+	MProxied = obs.Default.Counter("cluster_proxied_total")
+	// MLocal counts run requests this node owned (or was pinned to) and
+	// resolved locally.
+	MLocal = obs.Default.Counter("cluster_local_total")
+	// MFallback counts run requests owned by a remote peer but computed
+	// locally because the owner was down or the proxy attempt failed.
+	MFallback = obs.Default.Counter("cluster_fallback_total")
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// Self is this node's own peer URL; it must appear in Peers.
+	Self string
+	// Peers is the full static peer list (Self included), e.g.
+	// ["http://a:8080", "http://b:8080"].
+	Peers []string
+	// VirtualNodes per peer on the ring; <= 0 means DefaultVirtualNodes.
+	VirtualNodes int
+
+	// ProbeInterval is the health-probe cadence (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 1s).
+	ProbeTimeout time.Duration
+	// FailAfter marks a peer down after this many consecutive probe
+	// failures (default 2) — hysteresis against one lost packet.
+	FailAfter int
+	// RecoverAfter marks a down peer up again after this many consecutive
+	// probe successes (default 2) — hysteresis against a flapping peer.
+	RecoverAfter int
+
+	// HTTPClient is used for probes and proxied requests; nil means a
+	// dedicated client with sane timeouts.
+	HTTPClient *http.Client
+	// Logger receives peer state transitions; nil discards them.
+	Logger *slog.Logger
+}
+
+// peerState tracks one remote peer's probed health.
+type peerState struct {
+	up    bool
+	fails int
+	oks   int
+	gauge *obs.Gauge
+}
+
+// Cluster is one node's view of the fleet: the ring, per-peer API
+// clients, and probed peer health. Create with New, start probing with
+// Start, release with Close.
+type Cluster struct {
+	self         string
+	ring         *Ring
+	hc           *http.Client
+	clients      map[string]*api.Client
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	failAfter    int
+	recoverAfter int
+	log          *slog.Logger
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	stop   chan struct{}
+	doneWG sync.WaitGroup
+	once   sync.Once
+}
+
+// New validates cfg and builds the node's cluster view. Remote peers
+// start optimistically up; the prober corrects that within FailAfter
+// probe intervals.
+func New(cfg Config) (*Cluster, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in peer list %v", cfg.Self, cfg.Peers)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = 2
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	c := &Cluster{
+		self:         cfg.Self,
+		ring:         ring,
+		hc:           hc,
+		clients:      make(map[string]*api.Client),
+		probeEvery:   cfg.ProbeInterval,
+		probeTimeout: cfg.ProbeTimeout,
+		failAfter:    cfg.FailAfter,
+		recoverAfter: cfg.RecoverAfter,
+		log:          log,
+		peers:        make(map[string]*peerState),
+		stop:         make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		cl := api.NewClient(p, hc)
+		// One bounded retry round absorbs a peer restarting mid-proxy;
+		// beyond that the caller falls back to local compute.
+		cl.Retry = &api.RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.2}
+		c.clients[p] = cl
+		c.peers[p] = &peerState{
+			up:    true,
+			gauge: obs.Default.Gauge(fmt.Sprintf("cluster_peer_up{peer=%q}", p)),
+		}
+		c.peers[p].gauge.Set(1)
+	}
+	return c, nil
+}
+
+// Self returns this node's peer URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the full peer list.
+func (c *Cluster) Peers() []string { return c.ring.Peers() }
+
+// Owner returns the peer owning key and whether that peer is this node.
+func (c *Cluster) Owner(key string) (peer string, self bool) {
+	peer = c.ring.Owner(key)
+	return peer, peer == c.self
+}
+
+// Healthy reports whether peer is believed up. This node is always
+// healthy to itself; unknown peers are unhealthy.
+func (c *Cluster) Healthy(peer string) bool {
+	if peer == c.self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.peers[peer]
+	return ok && st.up
+}
+
+// Client returns the API client for a remote peer (nil for self or
+// unknown peers).
+func (c *Cluster) Client(peer string) *api.Client { return c.clients[peer] }
+
+// Start launches the background health prober. Safe to call once.
+func (c *Cluster) Start() {
+	c.doneWG.Add(1)
+	go func() {
+		defer c.doneWG.Done()
+		t := time.NewTicker(c.probeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober and waits for it to exit.
+func (c *Cluster) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.doneWG.Wait()
+}
+
+// probeAll probes every remote peer once, concurrently.
+func (c *Cluster) probeAll() {
+	var wg sync.WaitGroup
+	for peer := range c.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			c.record(peer, c.probe(peer))
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// probe performs one health check against peer.
+func (c *Cluster) probe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// record folds one probe outcome into the peer's hysteresis counters.
+func (c *Cluster) record(peer string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.peers[peer]
+	if st == nil {
+		return
+	}
+	if ok {
+		st.fails, st.oks = 0, st.oks+1
+		if !st.up && st.oks >= c.recoverAfter {
+			st.up = true
+			st.gauge.Set(1)
+			c.log.Info("cluster: peer recovered", "peer", peer)
+		}
+	} else {
+		st.oks, st.fails = 0, st.fails+1
+		if st.up && st.fails >= c.failAfter {
+			st.up = false
+			st.gauge.Set(0)
+			c.log.Warn("cluster: peer down", "peer", peer, "consecutive_failures", st.fails)
+		}
+	}
+}

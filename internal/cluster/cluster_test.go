@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// healthServer is an httptest server whose /healthz can be switched
+// between healthy and failing.
+func healthServer(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &healthy
+}
+
+func newTestCluster(t *testing.T, self string, peers []string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:          self,
+		Peers:         peers,
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSelfValidation(t *testing.T) {
+	if _, err := New(Config{Self: "http://x:1", Peers: []string{"http://a:1"}}); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+}
+
+func TestOwnershipAndSelf(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1"}
+	a := newTestCluster(t, "http://a:1", peers)
+	b := newTestCluster(t, "http://b:1", peers)
+
+	sawSelf, sawRemote := false, false
+	for i := 0; i < 100; i++ {
+		key := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		ownerA, selfA := a.Owner(key)
+		ownerB, selfB := b.Owner(key)
+		if ownerA != ownerB {
+			t.Fatalf("nodes disagree on owner of %s", key)
+		}
+		if selfA == selfB {
+			t.Fatalf("both nodes claim (or disclaim) %s", key)
+		}
+		if selfA {
+			sawSelf = true
+		} else {
+			sawRemote = true
+		}
+	}
+	if !sawSelf || !sawRemote {
+		t.Fatal("keyspace not split between the two peers")
+	}
+	if a.Client("http://b:1") == nil {
+		t.Fatal("no client for remote peer")
+	}
+	if a.Client("http://a:1") != nil {
+		t.Fatal("client for self")
+	}
+	if !a.Healthy("http://a:1") {
+		t.Fatal("self not healthy")
+	}
+}
+
+func TestHealthHysteresis(t *testing.T) {
+	ts, healthy := healthServer(t)
+	self := "http://self.invalid:1"
+	c, err := New(Config{
+		Self:          self,
+		Peers:         []string{self, ts.URL},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailAfter:     2,
+		RecoverAfter:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	// Optimistic start: the peer is up before the first probe.
+	if !c.Healthy(ts.URL) {
+		t.Fatal("peer not optimistically up")
+	}
+	c.Start()
+
+	// One failure must not mark it down (hysteresis)...
+	healthy.Store(false)
+	waitFor(t, "first probe failure", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.peers[ts.URL].fails >= 1
+	})
+	// ...but sustained failure must.
+	waitFor(t, "peer marked down", func() bool { return !c.Healthy(ts.URL) })
+
+	// Recovery needs RecoverAfter consecutive successes.
+	healthy.Store(true)
+	waitFor(t, "peer marked up", func() bool { return c.Healthy(ts.URL) })
+}
+
+func TestProbeUnreachablePeer(t *testing.T) {
+	ts, _ := healthServer(t)
+	dead := "http://127.0.0.1:1" // nothing listens on port 1
+	c, err := New(Config{
+		Self:          ts.URL,
+		Peers:         []string{ts.URL, dead},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.Start()
+	waitFor(t, "unreachable peer marked down", func() bool { return !c.Healthy(dead) })
+}

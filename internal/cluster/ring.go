@@ -1,0 +1,85 @@
+// Package cluster shards the simulation-result keyspace across a static
+// set of tkserve peers with a consistent-hash ring, and tracks peer health
+// so a node can decide between proxying a request to its owner and
+// computing locally.
+//
+// Ownership is advisory, not authoritative: every node's disk tier can
+// serve or recompute any key, so a stale ring view (a peer marked up that
+// just died, a ring rebuilt with a different peer list) only costs a
+// duplicated simulation, never a wrong answer. That property is what
+// allows the health prober to be simple — hysteresis over periodic
+// /healthz probes — instead of a consensus protocol.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-peer point count on the ring. 128 points
+// per peer keeps the keyspace split within a few percent of even for
+// small clusters.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node: a peer's hash position on the ring.
+type point struct {
+	hash uint64
+	peer string
+}
+
+// Ring is an immutable consistent-hash ring over a peer list.
+type Ring struct {
+	points []point
+	peers  []string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per peer (<= 0 means
+// DefaultVirtualNodes). Duplicate peers are rejected.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{points: make([]point, 0, len(peers)*vnodes), peers: append([]string(nil), peers...)}
+	for _, p := range peers {
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the ring's peer list in construction order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner returns the peer owning key: the first virtual node at or after
+// the key's hash, wrapping around.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// hash64 maps a string uniformly onto the ring's keyspace.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

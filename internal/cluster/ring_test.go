@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("ownership depends on peer-list order for %s", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("peer %s owns %.1f%% of the keyspace: %v", p, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMembershipStability(t *testing.T) {
+	// Removing one peer must only move the keys that peer owned:
+	// consistent hashing's defining property.
+	before, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, now := before.Owner(key), after.Owner(key)
+		if was == "http://c:1" {
+			continue // had to move
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d keys not owned by the removed peer changed owner", moved)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 0); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}

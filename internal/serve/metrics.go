@@ -49,6 +49,11 @@ func (s *Server) registerMetrics() {
 		}
 		return (cs.Wall / time.Duration(cs.Runs)).Seconds()
 	})
+	s.reg.Func("tkserve_cache_disk_hits_total", func() float64 { return float64(cache.Stats().DiskHits) })
+	if st := s.store; st != nil {
+		s.reg.Func("tkserve_store_entries", func() float64 { return float64(st.Stats().Entries) })
+		s.reg.Func("tkserve_store_bytes", func() float64 { return float64(st.Stats().Bytes) })
+	}
 }
 
 // handleMetrics renders the process-wide simulator registry (obs.Default:

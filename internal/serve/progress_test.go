@@ -149,6 +149,22 @@ func TestMetricsNames(t *testing.T) {
 		// generation-event tracing (process-wide registry)
 		"sim_events_emitted_total",
 		"sim_events_dropped_total",
+		// result cache and durable disk tier (process-wide registry)
+		"sim_cache_hits_total",
+		"sim_cache_misses_total",
+		"sim_cache_joined_total",
+		"sim_cache_disk_hits_total",
+		"store_hits_total",
+		"store_misses_total",
+		"store_writes_total",
+		"store_evictions_total",
+		"store_quarantined_total",
+		"store_get_seconds_sum",
+		"store_get_seconds_count",
+		// cluster routing (process-wide registry)
+		"cluster_proxied_total",
+		"cluster_local_total",
+		"cluster_fallback_total",
 		// service (per-server registry)
 		"tkserve_jobs_queued",
 		"tkserve_jobs_running",
@@ -164,6 +180,7 @@ func TestMetricsNames(t *testing.T) {
 		"tkserve_sim_refs_total",
 		"tkserve_sim_wall_seconds_total",
 		"tkserve_sim_wall_seconds_avg",
+		"tkserve_cache_disk_hits_total",
 		// job wall-time histogram
 		"tkserve_job_wall_seconds_sum",
 		"tkserve_job_wall_seconds_count",

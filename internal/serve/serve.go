@@ -36,12 +36,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timekeeping/internal/cluster"
 	"timekeeping/internal/events"
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
+	"timekeeping/internal/store"
 	"timekeeping/internal/workload"
 	"timekeeping/pkg/api"
 )
@@ -58,6 +60,17 @@ type Config struct {
 	QueueDepth int
 	// Cache is the shared result store (nil: simcache.Default).
 	Cache *simcache.Store
+	// Store, when set, becomes the durable disk tier beneath Cache:
+	// results survive restarts, and a fresh process answers repeated
+	// configurations from disk without re-simulating. The server does not
+	// own the store; the caller opens and closes it.
+	Store *store.Store
+	// Cluster, when set, shards the result keyspace across a static peer
+	// fleet: run requests whose key another healthy peer owns are proxied
+	// there (so the fleet simulates each configuration once), and computed
+	// locally when the owner is down. The server does not own the cluster;
+	// the caller starts and closes it.
+	Cluster *cluster.Cluster
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
 	// Events allows run requests to capture generation-event traces
@@ -78,6 +91,8 @@ type Config struct {
 type Server struct {
 	base      sim.Options
 	cache     *simcache.Store
+	store     *store.Store
+	cluster   *cluster.Cluster
 	reg       *obs.Registry
 	mgr       *manager
 	mux       *http.ServeMux
@@ -106,10 +121,15 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.Store != nil {
+		cfg.Cache.SetTier(cfg.Store)
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
 		base:      cfg.Base,
 		cache:     cfg.Cache,
+		store:     cfg.Store,
+		cluster:   cfg.Cluster,
 		reg:       reg,
 		mgr:       newManager(cfg.Workers, cfg.QueueDepth, reg, cfg.Logger),
 		log:       cfg.Logger,
@@ -317,16 +337,57 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := simcache.Key(spec.Name, opt)
+	// Routing decision: with a cluster configured, a key another peer owns
+	// is proxied there so the fleet simulates each configuration exactly
+	// once. NoForward pins proxied hops to the receiving node, so routing
+	// terminates after one hop even if ring views disagree; a down owner
+	// degrades to local compute rather than an error.
+	proxyTo := ""
+	fallback := false
+	if s.cluster != nil && !req.NoForward {
+		if owner, self := s.cluster.Owner(key); !self {
+			if s.cluster.Healthy(owner) {
+				proxyTo = owner
+			} else {
+				fallback = true
+			}
+		}
+	}
 	fn := func(ctx context.Context, j *job) error {
+		if proxyTo != "" {
+			if view, ok := s.proxyRun(ctx, j, proxyTo, req); ok {
+				cluster.MProxied.Inc()
+				j.prog.Begin(obs.PhaseDone, view.TotalRefs)
+				j.prog.Add(view.TotalRefs)
+				s.mgr.update(j, func(snap *api.JobView) {
+					snap.Cache = api.CacheProxied
+					snap.Result = view
+				})
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fallback = true // owner died mid-proxy: compute here instead
+		}
+		if s.cluster != nil {
+			if fallback {
+				cluster.MFallback.Inc()
+			} else {
+				cluster.MLocal.Inc()
+			}
+		}
 		opt.Progress = j.prog
 		opt.Events = j.events // nil unless the request asked for capture
+		span := j.events.BeginSpan("resolve "+spec.Name, 0)
 		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
 			return sim.RunContext(ctx, spec, opt)
 		})
+		j.events.EndSpan(span, res.CPU.Cycles)
 		if err == nil && outcome != simcache.Miss {
-			// Cache-hit and joined jobs never drove this job's progress
-			// handle (the simulation ran elsewhere, or not at all): record
-			// the whole run as instantly complete so progress watchers
+			// Cache-hit, disk-hit and joined jobs never drove this job's
+			// progress handle (the simulation ran elsewhere, or not at all):
+			// record the whole run as instantly complete so progress watchers
 			// always observe refs done == expected and a done phase.
 			j.prog.Begin(obs.PhaseDone, res.TotalRefs)
 			j.prog.Add(res.TotalRefs)
@@ -342,11 +403,54 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.dispatch(w, r, "run", spec.Name, req.Async, sink, fn)
 }
 
+// proxyRun forwards a run request to the peer owning its key and returns
+// the peer's result view. The forwarded request is pinned (NoForward) so
+// routing terminates after one hop, synchronous, and without event
+// capture (the trace would live on the peer, not here). Returns ok=false
+// on any failure; the caller falls back to local compute.
+func (s *Server) proxyRun(ctx context.Context, j *job, owner string, req api.RunRequest) (*api.ResultView, bool) {
+	preq := req
+	preq.Async = false
+	preq.Events = false
+	preq.NoForward = true
+	span := j.events.BeginSpan("proxy "+owner, 0)
+	pj, err := s.cluster.Client(owner).Run(ctx, preq)
+	j.events.EndSpan(span, 0)
+	if err != nil {
+		if ctx.Err() == nil {
+			s.log.Warn("cluster: proxy failed, computing locally", "owner", owner, "err", err)
+		}
+		return nil, false
+	}
+	if pj.Result == nil {
+		s.log.Warn("cluster: peer answered without a result, computing locally", "owner", owner, "job", pj.ID)
+		return nil, false
+	}
+	return pj.Result, true
+}
+
+// CacheKey resolves a run request against the server's base configuration
+// and returns its content-addressed result key — the key the disk tier
+// files it under and the cluster ring shards by.
+func (s *Server) CacheKey(req api.RunRequest) (string, error) {
+	spec, err := workload.Profile(req.Bench)
+	if err != nil {
+		return "", err
+	}
+	opt, aerr := s.options(req)
+	if aerr != nil {
+		return "", aerr
+	}
+	return simcache.Key(spec.Name, opt), nil
+}
+
 // handleEvents serves a job's generation-event capture: Chrome trace-event
 // JSON (Perfetto-compatible) by default, compact JSONL with ?format=jsonl.
 // The capture is bounded by Config.EventsCap and exists only for run jobs
-// that asked for it ("events": true). A capture from a cache-hit run is
-// empty — the simulation executed elsewhere (or not at all).
+// that asked for it ("events": true). A capture from a cache-hit, disk-hit
+// or proxied run carries no per-reference events — the simulation executed
+// elsewhere (or not at all) — only the resolve/proxy span timing the
+// lookup.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.mgr.lookup(id)

@@ -10,6 +10,11 @@
 // without disturbing the run, and the run itself is cancelled only when
 // the last interested caller has gone away.
 //
+// A Store may sit on top of a durable Tier (the disk result store of
+// internal/store): the flight consults the tier before simulating, so a
+// restarted process answers previously computed keys from disk, and every
+// fresh simulation is written through so the tier survives the process.
+//
 // Stored results are shared between callers and must be treated as
 // immutable.
 package simcache
@@ -23,7 +28,18 @@ import (
 	"sync"
 	"time"
 
+	"timekeeping/internal/obs"
 	"timekeeping/internal/sim"
+)
+
+// Process-wide outcome counters, registered up front so /metrics reports
+// them at zero. They aggregate across every Store in the process (the
+// tkserve cache, the experiments runner, ad-hoc CLI caches).
+var (
+	mHits     = obs.Default.Counter("sim_cache_hits_total")
+	mMisses   = obs.Default.Counter("sim_cache_misses_total")
+	mJoined   = obs.Default.Counter("sim_cache_joined_total")
+	mDiskHits = obs.Default.Counter("sim_cache_disk_hits_total")
 )
 
 // Key returns the canonical content address of a (benchmark, options)
@@ -51,15 +67,29 @@ const (
 	Miss Outcome = "miss"
 	// Joined means the call attached to another caller's in-flight run.
 	Joined Outcome = "joined"
+	// Disk means this call started a flight that was satisfied by the
+	// durable tier instead of simulating.
+	Disk Outcome = "disk"
 )
+
+// Tier is a durable result layer beneath the in-memory map — implemented
+// by internal/store. Get must be safe for concurrent use and never return
+// an invalid result (the disk tier quarantines anything that fails
+// validation); Put failures are the tier's to log, since losing a write
+// only costs durability.
+type Tier interface {
+	Get(key string) (sim.Result, bool)
+	Put(key string, res sim.Result) error
+}
 
 // Stats is a point-in-time snapshot of store activity.
 type Stats struct {
-	Entries  int           // results currently stored
+	Entries  int           // results currently stored in memory
 	Inflight int           // runs currently executing
-	Hits     uint64        // Do calls answered from the store
-	Misses   uint64        // Do calls that started a simulation
+	Hits     uint64        // Do calls answered from the in-memory map
+	Misses   uint64        // Do calls that started a flight
 	Joined   uint64        // Do calls that attached to an in-flight run
+	DiskHits uint64        // flights satisfied by the durable tier
 	Runs     uint64        // simulations completed successfully
 	Refs     uint64        // references simulated by completed runs (incl. warm-up)
 	Wall     time.Duration // total wall time of completed runs
@@ -72,6 +102,7 @@ type flight struct {
 	done    chan struct{}
 	res     sim.Result // set before done closes
 	err     error
+	disk    bool // satisfied by the tier, not a simulation
 }
 
 // Store is the cache. Use New; the zero value is not ready.
@@ -79,6 +110,7 @@ type Store struct {
 	mu       sync.Mutex
 	results  map[string]sim.Result
 	inflight map[string]*flight
+	tier     Tier
 	stats    Stats
 }
 
@@ -93,6 +125,16 @@ func New() *Store {
 		results:  make(map[string]sim.Result),
 		inflight: make(map[string]*flight),
 	}
+}
+
+// SetTier attaches a durable tier beneath the in-memory map: flights
+// consult it before simulating (read-through) and publish fresh
+// simulation results into it (write-through). Attach before concurrent
+// use; a nil tier detaches.
+func (s *Store) SetTier(t Tier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tier = t
 }
 
 // Lookup returns the stored result for key, with no side effects on the
@@ -119,23 +161,30 @@ func (s *Store) Stats() Stats {
 // least one Do caller is still waiting on this key and is cancelled when
 // the last of them gives up; ctx going away while others still wait
 // detaches this caller only.
+//
+// With a tier attached, the flight checks the tier before calling fn; a
+// flight answered from the tier reports Disk to its creator (callers who
+// attached mid-flight still report Joined).
 func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (sim.Result, error)) (sim.Result, Outcome, error) {
 	s.mu.Lock()
 	if res, ok := s.results[key]; ok {
 		s.stats.Hits++
 		s.mu.Unlock()
+		mHits.Inc()
 		return res, Hit, nil
 	}
 	outcome := Joined
 	f, ok := s.inflight[key]
 	if ok {
 		s.stats.Joined++
+		mJoined.Inc()
 	} else {
 		outcome = Miss
 		fctx, cancel := context.WithCancel(context.Background())
 		f = &flight{cancel: cancel, done: make(chan struct{})}
 		s.inflight[key] = f
 		s.stats.Misses++
+		mMisses.Inc()
 		go s.run(key, f, fctx, fn)
 	}
 	f.waiters++
@@ -143,6 +192,9 @@ func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (si
 
 	select {
 	case <-f.done:
+		if outcome == Miss && f.disk {
+			outcome = Disk
+		}
 		return f.res, outcome, f.err
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -155,20 +207,47 @@ func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (si
 	}
 }
 
-// run executes one flight and publishes its result.
+// run executes one flight — tier read-through first, then the simulation —
+// and publishes its result to the in-memory map and (for fresh
+// simulations) back through the tier.
 func (s *Store) run(key string, f *flight, fctx context.Context, fn func(context.Context) (sim.Result, error)) {
-	start := time.Now()
-	res, err := fn(fctx)
-	f.cancel()
 	s.mu.Lock()
-	f.res, f.err = res, err
+	tier := s.tier
+	s.mu.Unlock()
+
+	start := time.Now()
+	var res sim.Result
+	var err error
+	fromDisk := false
+	if tier != nil {
+		res, fromDisk = tier.Get(key)
+	}
+	if !fromDisk {
+		res, err = fn(fctx)
+	}
+	f.cancel()
+
+	s.mu.Lock()
+	f.res, f.err, f.disk = res, err, fromDisk
 	delete(s.inflight, key)
 	if err == nil {
 		s.results[key] = res
-		s.stats.Runs++
-		s.stats.Refs += res.TotalRefs
-		s.stats.Wall += time.Since(start)
+		if fromDisk {
+			s.stats.DiskHits++
+		} else {
+			s.stats.Runs++
+			s.stats.Refs += res.TotalRefs
+			s.stats.Wall += time.Since(start)
+		}
 	}
 	s.mu.Unlock()
+	if fromDisk {
+		mDiskHits.Inc()
+	} else if err == nil && tier != nil {
+		// Write-through before waiters wake, so "the job finished" implies
+		// "the result is durable" — restart-durability tests and operators
+		// can rely on it.
+		_ = tier.Put(key, res) // tier logs its own failures; losing a write only costs durability
+	}
 	close(f.done)
 }

@@ -188,3 +188,129 @@ func TestErrorsAreNotCached(t *testing.T) {
 		t.Fatalf("fn ran %d times, want 2", calls.Load())
 	}
 }
+
+// fakeTier is an in-memory Tier with controllable behaviour.
+type fakeTier struct {
+	mu   sync.Mutex
+	m    map[string]sim.Result
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{m: make(map[string]sim.Result)} }
+
+func (f *fakeTier) Get(key string) (sim.Result, bool) {
+	f.gets.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	res, ok := f.m[key]
+	return res, ok
+}
+
+func (f *fakeTier) Put(key string, res sim.Result) error {
+	f.puts.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.m[key] = res
+	return nil
+}
+
+func TestTierWriteThrough(t *testing.T) {
+	s := New()
+	tier := newFakeTier()
+	s.SetTier(tier)
+
+	res, out, err := s.Do(context.Background(), "k", func(context.Context) (sim.Result, error) {
+		return sim.Result{Bench: "x", TotalRefs: 10}, nil
+	})
+	if err != nil || out != Miss || res.Bench != "x" {
+		t.Fatalf("cold Do: outcome=%v err=%v", out, err)
+	}
+	if tier.puts.Load() != 1 {
+		t.Fatalf("tier saw %d puts, want 1", tier.puts.Load())
+	}
+	if got, ok := tier.Get("k"); !ok || got.Bench != "x" {
+		t.Fatal("simulated result not written through to the tier")
+	}
+	// A memory hit must not touch the tier again.
+	gets := tier.gets.Load()
+	if _, out, _ := s.Do(context.Background(), "k", nil); out != Hit {
+		t.Fatalf("warm outcome = %v", out)
+	}
+	if tier.gets.Load() != gets {
+		t.Fatal("memory hit consulted the tier")
+	}
+}
+
+func TestTierReadThrough(t *testing.T) {
+	s := New()
+	tier := newFakeTier()
+	tier.m["k"] = sim.Result{Bench: "warm", TotalRefs: 42}
+	s.SetTier(tier)
+
+	var calls atomic.Int64
+	res, out, err := s.Do(context.Background(), "k", func(context.Context) (sim.Result, error) {
+		calls.Add(1)
+		return sim.Result{}, nil
+	})
+	if err != nil || out != Disk || res.Bench != "warm" {
+		t.Fatalf("disk Do: res=%+v outcome=%v err=%v", res, out, err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("tier hit still ran the simulation")
+	}
+	st := s.Stats()
+	if st.DiskHits != 1 || st.Runs != 0 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The disk hit is now published in memory: second call is a plain hit.
+	if _, out, _ := s.Do(context.Background(), "k", nil); out != Hit {
+		t.Fatalf("second outcome = %v, want hit", out)
+	}
+	// No write-back of a result that came from the tier.
+	if tier.puts.Load() != 0 {
+		t.Fatal("disk hit was written back to the tier")
+	}
+}
+
+func TestTierJoinersReportJoined(t *testing.T) {
+	s := New()
+	tier := newFakeTier()
+	tier.m["k"] = sim.Result{Bench: "warm", TotalRefs: 1}
+	s.SetTier(tier)
+
+	const n = 4
+	outcomes := make(chan Outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, out, err := s.Do(context.Background(), "k", func(context.Context) (sim.Result, error) {
+				return sim.Result{}, errors.New("should not run")
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			outcomes <- out
+		}()
+	}
+	wg.Wait()
+	close(outcomes)
+	var disk, joined, hit int
+	for out := range outcomes {
+		switch out {
+		case Disk:
+			disk++
+		case Joined:
+			joined++
+		case Hit:
+			hit++
+		default:
+			t.Fatalf("unexpected outcome %v", out)
+		}
+	}
+	if disk != 1 {
+		t.Fatalf("outcomes: disk=%d joined=%d hit=%d; want exactly one disk", disk, joined, hit)
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	h := NewHist(100, 10)
+	for _, v := range []uint64{0, 5, 99, 100, 101, 950, 5000, 12345} {
+		h.Add(v)
+	}
+	blob, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Hist
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Total() != h.Total() || got.Mean() != h.Mean() || got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Fatalf("summary drift: got total=%d mean=%v min=%d max=%d, want total=%d mean=%v min=%d max=%d",
+			got.Total(), got.Mean(), got.Min(), got.Max(), h.Total(), h.Mean(), h.Min(), h.Max())
+	}
+	for i := 0; i <= h.Buckets; i++ {
+		if got.Count(i) != h.Count(i) {
+			t.Fatalf("bucket %d: got %d want %d", i, got.Count(i), h.Count(i))
+		}
+	}
+	// The reloaded histogram must stay usable for further accumulation.
+	got.Add(42)
+	if got.Total() != h.Total()+1 {
+		t.Fatalf("post-reload Add: total %d", got.Total())
+	}
+}
+
+func TestHistJSONEmpty(t *testing.T) {
+	h := NewHist(100, 4)
+	blob, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Hist
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// min must survive as MaxUint64 so the first Add still sets it.
+	if got.Min() != 0 || got.Mean() != 0 {
+		t.Fatalf("empty hist drift: min=%d mean=%v", got.Min(), got.Mean())
+	}
+	got.Add(7)
+	if got.Min() != 7 || got.Max() != 7 {
+		t.Fatalf("first Add after reload: min=%d max=%d", got.Min(), got.Max())
+	}
+}
+
+func TestHistJSONRejectsCorruptShape(t *testing.T) {
+	cases := map[string]string{
+		"zero width":     `{"width":0,"buckets":4,"counts":[0,0,0,0,0],"total":0}`,
+		"counts too few": `{"width":100,"buckets":4,"counts":[0,0],"total":0}`,
+		"total mismatch": `{"width":100,"buckets":4,"counts":[1,0,0,0,0],"total":5}`,
+	}
+	for name, blob := range cases {
+		var h Hist
+		if err := json.Unmarshal([]byte(blob), &h); err == nil {
+			t.Errorf("%s: corrupt histogram accepted", name)
+		}
+	}
+}
+
+func TestDiffHistJSONRoundTrip(t *testing.T) {
+	d := NewDiffHist(16, 10)
+	pairs := [][2]uint64{{100, 100}, {100, 110}, {500, 100}, {16, 48}, {0, 1 << 20}}
+	for _, p := range pairs {
+		d.Add(p[0], p[1])
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got DiffHist
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Total() != d.Total() || got.CenterFrac() != d.CenterFrac() {
+		t.Fatalf("drift: total %d/%d centerfrac %v/%v", got.Total(), d.Total(), got.CenterFrac(), d.CenterFrac())
+	}
+	for i := 0; i < d.Buckets(); i++ {
+		if got.Percent(i) != d.Percent(i) {
+			t.Fatalf("bucket %d percent drift", i)
+		}
+	}
+
+	var bad DiffHist
+	if err := json.Unmarshal([]byte(`{"min_abs":16,"span":10,"counts":[1],"total":1}`), &bad); err == nil {
+		t.Fatal("corrupt diff histogram accepted")
+	}
+}
+
+func TestRatioHistJSONRoundTrip(t *testing.T) {
+	r := NewRatioHist(10)
+	pairs := [][2]uint64{{100, 100}, {400, 100}, {100, 400}, {0, 0}, {7, 0}, {0, 7}}
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got RatioHist
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Total() != r.Total() {
+		t.Fatalf("total drift: %d != %d", got.Total(), r.Total())
+	}
+	gc, rc := got.Cumulative(), r.Cumulative()
+	for i := range rc {
+		if gc[i] != rc[i] {
+			t.Fatalf("cumulative[%d] drift: %v != %v", i, gc[i], rc[i])
+		}
+	}
+	if got.FracWithin(2) != r.FracWithin(2) {
+		t.Fatal("FracWithin drift")
+	}
+
+	var bad RatioHist
+	if err := json.Unmarshal([]byte(`{"span":10,"counts":[0,0],"total":0}`), &bad); err == nil {
+		t.Fatal("corrupt ratio histogram accepted")
+	}
+}

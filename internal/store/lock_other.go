@@ -1,0 +1,40 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrLocked reports that another process holds the store directory.
+var ErrLocked = errors.New("store: directory locked by another process")
+
+// dirLock on platforms without flock falls back to best-effort exclusive
+// creation of the LOCK file; a crashed process leaves a stale lock the
+// operator must remove. All supported deployment targets are unix.
+type dirLock struct {
+	path string
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w (%s)", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f.Close()
+	return &dirLock{path: path}, nil
+}
+
+func (l *dirLock) release() error {
+	if l.path == "" {
+		return nil
+	}
+	err := os.Remove(l.path)
+	l.path = ""
+	return err
+}

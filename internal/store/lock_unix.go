@@ -1,0 +1,47 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// ErrLocked reports that another process holds the store directory.
+var ErrLocked = errors.New("store: directory locked by another process")
+
+// dirLock is an exclusive advisory flock on the store's LOCK file. flock
+// locks attach to the open file description, so a second Open — even in
+// the same process — conflicts until the first is released.
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("%w (%s)", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("store: locking %s: %w", path, err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() error {
+	if l.f == nil {
+		return nil
+	}
+	err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

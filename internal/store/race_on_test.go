@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled gates latency assertions: the race detector multiplies the
+// JSON decode cost by an order of magnitude, so wall-clock budgets are
+// only enforced in uninstrumented runs.
+const raceEnabled = true

@@ -31,9 +31,11 @@ func (s Status) Terminal() bool {
 
 // Cache outcomes: how a run job's result was satisfied.
 const (
-	CacheHit    = "hit"    // answered from the result store
-	CacheMiss   = "miss"   // this job ran the simulation
-	CacheJoined = "joined" // attached to another caller's in-flight run
+	CacheHit     = "hit"     // answered from the in-memory result store
+	CacheMiss    = "miss"    // this job ran the simulation
+	CacheJoined  = "joined"  // attached to another caller's in-flight run
+	CacheDisk    = "disk"    // answered from the durable disk tier
+	CacheProxied = "proxied" // answered by the key's owning cluster peer
 )
 
 // SamplingPolicy configures statistical sampling for a run: detailed
@@ -87,6 +89,11 @@ type RunRequest struct {
 	// until the job finishes, and a client disconnect cancels the
 	// simulation.
 	Async bool `json:"async,omitempty"`
+	// NoForward pins the request to the receiving node: a clustered
+	// server resolves it locally instead of proxying to the key's owner.
+	// Set automatically on proxied hops so a request crosses the cluster
+	// at most once; operators can set it to probe a specific node.
+	NoForward bool `json:"no_forward,omitempty"`
 }
 
 // ExperimentRequest is the body of POST /v1/experiments/{id}. All fields

@@ -5,13 +5,60 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
 )
+
+// RetryPolicy bounds the client's retries of transient failures:
+// queue_full (the server's bounded queue rejected the submission) and
+// transport/proxy-level errors (connection refused or reset, 502/503/504
+// from an intermediary). Permanent failures — bad_request, unknown_bench,
+// not_found, any 4xx — are never retried, and neither is a request whose
+// context is done.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each subsequent wait
+	// doubles, capped at MaxDelay. Zero means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 2s.
+	MaxDelay time.Duration
+	// Jitter randomises each wait by ±Jitter fraction (0..1) to spread
+	// retry storms. Zero means no jitter.
+	Jitter float64
+}
+
+// DefaultRetry is a reasonable policy for unattended callers: 4 attempts,
+// 100ms..2s exponential backoff, 20% jitter.
+func DefaultRetry() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.2}
+}
+
+// delay returns the wait before retry attempt i (1-based).
+func (p *RetryPolicy) delay(i int) time.Duration {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (i - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rand.Float64()-1)))
+	}
+	return d
+}
 
 // Client is a typed client for the tkserve HTTP API.
 type Client struct {
@@ -21,6 +68,14 @@ type Client struct {
 	// ProgressInterval, when positive, asks the server to emit progress
 	// snapshots at this cadence instead of its default.
 	ProgressInterval time.Duration
+
+	// Retry, when non-nil, retries transient failures of the unary
+	// JSON round trips (Run, Experiment, Job, ...) under the policy.
+	// Streaming endpoints (WatchProgress, JobEvents) are never retried —
+	// the caller owns resumption there. Submissions are idempotent
+	// server-side (results are content-addressed and runs collapse via
+	// singleflight), so retrying a POST cannot double-simulate.
+	Retry *RetryPolicy
 }
 
 // NewClient returns a client for the service at baseURL (e.g.
@@ -172,21 +227,73 @@ func (c *Client) WatchProgress(ctx context.Context, id string, fn func(ProgressE
 	return fmt.Errorf("api: progress stream for %s ended without a terminal event", id)
 }
 
-// do performs one JSON round trip. Non-2xx responses decode into *Error.
+// do performs one JSON round trip, retrying transient failures when a
+// Retry policy is set. Non-2xx responses decode into *Error.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var blob []byte
 	if in != nil {
-		blob, err := json.Marshal(in)
+		var err error
+		blob, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("api: encoding request: %w", err)
 		}
+	}
+	attempts := 1
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			t := time.NewTimer(c.Retry.delay(i))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+		err = c.doOnce(ctx, method, path, blob, in != nil, out)
+		if err == nil || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// retryable classifies an error as transient: worth a backoff-and-retry.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *Error
+	if errors.As(err, &ae) {
+		if ae.Code == CodeQueueFull {
+			return true
+		}
+		// Gateway-level failures surface as synthesized internal errors
+		// with a proxy status; the origin may be healthy on the next try.
+		return ae.Code == CodeInternal &&
+			(ae.HTTPStatus == http.StatusBadGateway ||
+				ae.HTTPStatus == http.StatusServiceUnavailable ||
+				ae.HTTPStatus == http.StatusGatewayTimeout)
+	}
+	// Anything else non-*Error is transport-level (connection refused,
+	// reset, EOF mid-response).
+	return true
+}
+
+// doOnce performs a single HTTP round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, blob []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)

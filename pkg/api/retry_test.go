@@ -1,0 +1,162 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first n requests with the given failure mode, then
+// answers every request with a done job view.
+func flakyServer(t *testing.T, n int, fail func(w http.ResponseWriter)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			fail(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(JobView{ID: "job-1", Status: StatusDone})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func failWith(status int, code ErrorCode) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(ErrorEnvelope{Err: &Error{Code: code, Message: "synthetic failure"}})
+	}
+}
+
+func TestRetryQueueFullEventuallySucceeds(t *testing.T) {
+	ts, calls := flakyServer(t, 2, failWith(http.StatusServiceUnavailable, CodeQueueFull))
+	c := NewClient(ts.URL, nil)
+	c.Retry = &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Jitter: 0.2}
+
+	j, err := c.Run(context.Background(), RunRequest{Bench: "eon"})
+	if err != nil {
+		t.Fatalf("Run with retry: %v", err)
+	}
+	if j.ID != "job-1" {
+		t.Fatalf("job = %+v", j)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	ts, calls := flakyServer(t, 1, failWith(http.StatusServiceUnavailable, CodeQueueFull))
+	c := NewClient(ts.URL, nil)
+
+	_, err := c.Run(context.Background(), RunRequest{Bench: "eon"})
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeQueueFull {
+		t.Fatalf("err = %v, want queue_full", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestRetryBounded(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, failWith(http.StatusServiceUnavailable, CodeQueueFull))
+	c := NewClient(ts.URL, nil)
+	c.Retry = &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+
+	_, err := c.Run(context.Background(), RunRequest{Bench: "eon"})
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeQueueFull {
+		t.Fatalf("err = %v, want queue_full after exhausting retries", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	cases := []struct {
+		name string
+		fail func(w http.ResponseWriter)
+		code ErrorCode
+	}{
+		{"bad_request", failWith(http.StatusBadRequest, CodeBadRequest), CodeBadRequest},
+		{"not_found", failWith(http.StatusNotFound, CodeNotFound), CodeNotFound},
+		{"draining", failWith(http.StatusServiceUnavailable, CodeDraining), CodeDraining},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, calls := flakyServer(t, 1000, tc.fail)
+			c := NewClient(ts.URL, nil)
+			c.Retry = &RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+			_, err := c.Run(context.Background(), RunRequest{Bench: "eon"})
+			var ae *Error
+			if !errors.As(err, &ae) || ae.Code != tc.code {
+				t.Fatalf("err = %v, want %s", err, tc.code)
+			}
+			if got := calls.Load(); got != 1 {
+				t.Fatalf("server saw %d requests, want 1 (no retries)", got)
+			}
+		})
+	}
+}
+
+func TestRetryGatewayErrors(t *testing.T) {
+	// A reverse proxy in front of a dead node answers with a bare 502;
+	// decodeError synthesizes an internal *Error carrying the status.
+	ts, calls := flakyServer(t, 2, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte("upstream connect error"))
+	})
+	c := NewClient(ts.URL, nil)
+	c.Retry = &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}
+
+	if _, err := c.Run(context.Background(), RunRequest{Bench: "eon"}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestRetryTransportErrors(t *testing.T) {
+	// A connection-refused transport error is transient: the peer may be
+	// restarting. Point at a dead port and verify attempts are bounded.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	c := NewClient(dead.URL, nil)
+	c.Retry = &RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+
+	start := time.Now()
+	_, err := c.Run(context.Background(), RunRequest{Bench: "eon"})
+	if err == nil {
+		t.Fatal("Run against a dead server succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retries not bounded")
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, failWith(http.StatusServiceUnavailable, CodeQueueFull))
+	c := NewClient(ts.URL, nil)
+	c.Retry = &RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 75*time.Millisecond)
+	defer cancel()
+	_, err := c.Run(ctx, RunRequest{Bench: "eon"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if got := calls.Load(); got >= 100 {
+		t.Fatalf("context cancellation did not stop retries (%d attempts)", got)
+	}
+}
