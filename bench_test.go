@@ -7,6 +7,7 @@ package timekeeping
 // cmd/tkexp for full-scale numbers.
 
 import (
+	"context"
 	"testing"
 
 	"timekeeping/internal/experiments"
@@ -91,6 +92,24 @@ func BenchmarkFigure1(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFigure1Reference pins the same sweep to the reference loop.
+// Compare with BenchmarkFigure1 (fast engine via auto selection) for the
+// hot-loop speedup; cmd/tkbench measures and gates the same ratio.
+func BenchmarkFigure1Reference(b *testing.B) {
+	exp, err := experiments.ByID("fig1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.Engine = sim.EngineReference
+		if tables := exp.Run(r); len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
 func BenchmarkFigure2(b *testing.B)  { runExperiment(b, "fig2") }
 func BenchmarkFigure4(b *testing.B)  { runExperiment(b, "fig4") }
 func BenchmarkFigure5(b *testing.B)  { runExperiment(b, "fig5") }
@@ -148,14 +167,14 @@ func BenchmarkSampledSpeedup(b *testing.B) {
 
 	b.Run("Exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(spec, exact); err != nil {
+			if _, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: exact}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Sampled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(spec, sampled)
+			res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: sampled})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,197 @@
+// Command tkbench measures raw hot-loop throughput: the same fixed
+// workload sweep driven through each execution engine, reported as
+// references simulated per second. It writes the BENCH_core.json
+// trajectory artifact CI uploads, and — given a committed baseline —
+// fails when the fast engine's speedup over the reference loop regresses.
+//
+// Usage:
+//
+//	tkbench                                  # print refs/sec per engine
+//	tkbench -out BENCH_core.json             # also write the artifact
+//	tkbench -out BENCH_core.json -baseline BENCH_baseline.json
+//
+// The regression gate compares speedup (fast refs/sec ÷ reference
+// refs/sec), not absolute throughput, so the committed baseline holds
+// across machines of different speeds: the run fails (exit 1) when the
+// measured speedup falls more than -tolerance below the baseline's.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+)
+
+// EngineStat is one engine's best observed throughput.
+type EngineStat struct {
+	RefsPerSec float64 `json:"refs_per_sec"`
+	Refs       uint64  `json:"refs"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// Report is the BENCH_core.json schema: the measurement's shape, each
+// engine's throughput, and the fast engine's speedup over the reference.
+// Speedup is the median of per-pass ratios — each pass times both
+// engines back to back, so a machine-wide slowdown cancels out of the
+// ratio instead of biasing whichever engine it happened to hit.
+type Report struct {
+	Benches     []string              `json:"benches"`
+	WarmupRefs  uint64                `json:"warmup_refs"`
+	MeasureRefs uint64                `json:"measure_refs"`
+	Reps        int                   `json:"reps"`
+	Engines     map[string]EngineStat `json:"engines"`
+	Speedup     float64               `json:"speedup"`
+}
+
+func main() {
+	var (
+		benches   = flag.String("benches", "eon,twolf,vpr,ammp,swim,mcf,facerec,gcc", "comma-separated benchmark sweep")
+		warmup    = flag.Uint64("warmup", 20_000, "warm-up references per run")
+		refs      = flag.Uint64("refs", 80_000, "measured references per run")
+		reps      = flag.Int("reps", 3, "sweep repetitions per engine; the best rep is reported")
+		out       = flag.String("out", "", "write the JSON report to this file")
+		baseline  = flag.String("baseline", "", "committed baseline report; exit 1 when speedup regresses below it")
+		tolerance = flag.Float64("tolerance", 0.15, "with -baseline: allowed fractional speedup regression")
+	)
+	flag.Parse()
+
+	opt := sim.Default()
+	opt.WarmupRefs = *warmup
+	opt.MeasureRefs = *refs
+	opt.Track = true
+
+	var names []string
+	for _, b := range strings.Split(*benches, ",") {
+		names = append(names, strings.TrimSpace(b))
+	}
+	specs := make([]workload.Spec, len(names))
+	for i, b := range names {
+		spec, err := workload.Profile(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs[i] = spec
+	}
+
+	rep := Report{
+		Benches:     names,
+		WarmupRefs:  *warmup,
+		MeasureRefs: *refs,
+		Reps:        *reps,
+		Engines:     make(map[string]EngineStat, 2),
+	}
+	// Each pass times both engines back to back and contributes one
+	// paired ratio; transient machine noise slows both sides of a pass
+	// alike and cancels out of its ratio.
+	var ratios []float64
+	for r := 0; r < *reps; r++ {
+		pass := make(map[sim.Engine]EngineStat, 2)
+		for _, eng := range sim.Engines() {
+			st, err := measure(specs, opt, eng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pass[eng] = st
+			if best := rep.Engines[string(eng)]; st.RefsPerSec > best.RefsPerSec {
+				rep.Engines[string(eng)] = st
+			}
+		}
+		if ref := pass[sim.EngineReference].RefsPerSec; ref > 0 {
+			ratios = append(ratios, pass[sim.EngineFast].RefsPerSec/ref)
+		}
+	}
+	for _, eng := range sim.Engines() {
+		st := rep.Engines[string(eng)]
+		fmt.Printf("%-10s %12.0f refs/sec (%d refs in %.3fs, best of %d)\n",
+			eng, st.RefsPerSec, st.Refs, st.Seconds, *reps)
+	}
+	rep.Speedup = median(ratios)
+	fmt.Printf("speedup    %.2fx (fast over reference, median of %d paired passes)\n", rep.Speedup, len(ratios))
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *baseline != "" {
+		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// measure drives the sweep through one engine once and reports its
+// throughput; the caller keeps the fastest repetition (the
+// least-disturbed measurement, the convention benchmark tooling uses).
+// Each benchmark runs tracked and untracked — the two configurations the
+// Figure 1 sweep (BenchmarkFigure1, the gated workload) simulates.
+func measure(specs []workload.Spec, opt sim.Options, eng sim.Engine) (EngineStat, error) {
+	plain := opt
+	plain.Track = false
+	var total uint64
+	start := time.Now()
+	for _, spec := range specs {
+		for _, o := range [2]sim.Options{opt, plain} {
+			res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: o, Engine: eng})
+			if err != nil {
+				return EngineStat{}, fmt.Errorf("tkbench: %s under %s: %w", spec.Name, eng, err)
+			}
+			total += res.TotalRefs
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return EngineStat{RefsPerSec: float64(total) / sec, Refs: total, Seconds: sec}, nil
+}
+
+// median returns the middle value of xs (mean of the middle two for an
+// even count), 0 for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// checkBaseline fails when the measured speedup regresses more than the
+// tolerated fraction below the committed baseline's.
+func checkBaseline(cur Report, path string, tolerance float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("tkbench: reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("tkbench: parsing baseline %s: %w", path, err)
+	}
+	floor := base.Speedup * (1 - tolerance)
+	if cur.Speedup < floor {
+		return fmt.Errorf("tkbench: fast-engine speedup regressed: %.2fx, floor %.2fx (baseline %.2fx - %.0f%%)",
+			cur.Speedup, floor, base.Speedup, 100*tolerance)
+	}
+	fmt.Printf("baseline   ok: %.2fx >= %.2fx floor (baseline %.2fx)\n", cur.Speedup, floor, base.Speedup)
+	return nil
+}

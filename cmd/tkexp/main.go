@@ -24,10 +24,12 @@ import (
 	"strings"
 	"time"
 
+	"timekeeping/internal/caps"
 	"timekeeping/internal/events"
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/obs"
 	"timekeeping/internal/sample"
+	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
 	"timekeeping/internal/store"
 	"timekeeping/internal/workload"
@@ -47,19 +49,18 @@ func main() {
 		evOut    = flag.String("events-out", "", "capture per-experiment-point run spans (and generation events) and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
 		evCap    = flag.Int("events-cap", 0, "with -events-out: event ring capacity (0 = 65536)")
 		cacheDir = flag.String("cache-dir", "", "durable result cache directory: runs repeated across invocations are answered from disk")
+		engName  = flag.String("engine", "auto", "execution engine for every run: auto | fast | reference")
 	)
 	flag.Parse()
 
 	if *list {
+		c := caps.Local()
 		fmt.Println("experiments:")
-		for _, e := range experiments.All() {
-			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
-		}
-		for _, e := range experiments.Ablations() {
+		for _, e := range c.Experiments {
 			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
 		}
 		fmt.Println("benchmarks:")
-		for _, name := range workload.Names() {
+		for _, name := range c.Benches {
 			fmt.Printf("  %s\n", name)
 		}
 		return
@@ -72,6 +73,16 @@ func main() {
 	}
 
 	runner := experiments.NewRunner()
+	eng, err := sim.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if eng == sim.EngineFast && (*smp || *smpCI > 0 || *evOut != "") {
+		fmt.Fprintf(os.Stderr, "tkexp: engine %q cannot run with -sample or -events-out (use auto or reference)\n", eng)
+		os.Exit(2)
+	}
+	runner.Engine = eng
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir, store.Options{})
 		if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -86,7 +87,7 @@ func TestStoreAudit(t *testing.T) {
 	const bench = "eon"
 	opt := golden.CorpusOptions()
 	opt.WarmupRefs, opt.MeasureRefs = 2000, 8000
-	res, err := sim.Run(workload.MustProfile(bench), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile(bench), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}

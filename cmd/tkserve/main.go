@@ -7,6 +7,7 @@
 //
 //	tkserve -addr :8080
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/capabilities
 //	curl -s -X POST localhost:8080/v1/run -d '{"bench":"mcf","prefetch":"timekeeping"}'
 //	curl -s -X POST localhost:8080/v1/experiments/fig13 -d '{"benches":["twolf","vpr"]}'
 //	curl -s localhost:8080/metrics

@@ -30,8 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"timekeeping/internal/caps"
 	"timekeeping/internal/events"
 	"timekeeping/internal/sample"
 	"timekeeping/internal/sim"
@@ -61,17 +64,25 @@ func main() {
 		evKinds  = flag.String("events-kinds", "", "restrict event capture to these kinds, e.g. fill,hit,evict (default: all)")
 		evCap    = flag.Int("events-cap", 0, "event ring capacity; oldest events drop on overflow (0 = 65536)")
 		cacheDir = flag.String("cache-dir", "", "durable result cache directory: identical workload runs are answered from disk across invocations")
+		engName  = flag.String("engine", "auto", "execution engine: auto | fast | reference")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file (pprof format)")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, name := range workload.Names() {
+		for _, name := range caps.Local().Benches {
 			fmt.Println(name)
 		}
 		return
 	}
 
 	opt := sim.Default()
+	eng, err := sim.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	vf, err := sim.ParseVictimFilter(*victim)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,6 +129,19 @@ func main() {
 		opt.Events = sink
 	}
 
+	if *cpuProf != "" {
+		f, perr := os.Create(*cpuProf)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var res sim.Result
 	if *traceIn != "" {
 		f, ferr := os.Open(*traceIn)
@@ -131,7 +155,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, rerr)
 			os.Exit(1)
 		}
-		res, err = sim.RunStream(*traceIn, rd, opt)
+		res, err = sim.Run(context.Background(),
+			sim.Spec{Name: *traceIn, Stream: rd, Opts: opt, Engine: eng})
 		if err == nil && rd.Err() != nil {
 			err = rd.Err()
 		}
@@ -153,7 +178,9 @@ func main() {
 			cache.SetTier(st)
 			var outcome simcache.Outcome
 			res, outcome, err = cache.Do(context.Background(), simcache.Key(spec.Name, opt),
-				func(ctx context.Context) (sim.Result, error) { return sim.RunContext(ctx, spec, opt) })
+				func(ctx context.Context) (sim.Result, error) {
+					return sim.Run(ctx, sim.Spec{Workload: spec, Opts: opt, Engine: eng})
+				})
 			if outcome == simcache.Disk {
 				fmt.Fprintf(os.Stderr, "tksim: result served from %s (no simulation ran", *cacheDir)
 				if sink != nil {
@@ -162,7 +189,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, ")")
 			}
 		} else {
-			res, err = sim.Run(spec, opt)
+			res, err = sim.Run(context.Background(),
+				sim.Spec{Workload: spec, Opts: opt, Engine: eng})
 		}
 	}
 	if err != nil {
@@ -180,6 +208,11 @@ func main() {
 	}
 
 	fmt.Printf("bench        %s\n", res.Bench)
+	if res.Engine != "" {
+		// Empty when the result came from the durable cache: stored
+		// results are engine-neutral, no simulation ran.
+		fmt.Printf("engine       %s\n", res.Engine)
+	}
 	if e := res.Estimate; e != nil {
 		fmt.Printf("sampled      %d windows (detailed %d refs, functionally warmed %d)\n",
 			e.Windows, e.DetailedRefs, e.WarmRefs)
@@ -217,6 +250,23 @@ func main() {
 			m.Generations, m.Live.Mean(), m.Dead.Mean())
 		fmt.Printf("zero-live    accuracy %.3f coverage %.3f\n", m.ZeroLive.Accuracy(), m.ZeroLive.Coverage())
 		fmt.Printf("live-pred    accuracy %.3f coverage %.3f\n", m.LivePred.Accuracy(), m.LivePred.PredictionRate())
+	}
+
+	if *memProf != "" {
+		f, perr := os.Create(*memProf)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocation stats before the snapshot
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
 	}
 }
 

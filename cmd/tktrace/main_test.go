@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,7 +25,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	opt.MeasureRefs = 30_000
 	opt.Track = true
 
-	direct, err := sim.Run(spec, opt)
+	direct, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package timekeeping
 // in-tree guard on the filtered configuration.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -37,7 +38,7 @@ func runEventsBench(b *testing.B, cfg *events.Config) {
 		if cfg != nil {
 			opt.Events = events.NewSink(*cfg)
 		}
-		res, err := sim.Run(spec, opt)
+		res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: opt})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,10 @@ func TestEventsOverhead(t *testing.T) {
 			if cfg != nil {
 				opt.Events = events.NewSink(*cfg)
 			}
-			if _, err := sim.Run(spec, opt); err != nil {
+			// Pin the reference engine on both sides: capture forces it
+			// anyway, and the guard measures capture overhead on that
+			// loop, not the fast engine's head start.
+			if _, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: opt, Engine: sim.EngineReference}); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,0 +1,43 @@
+// Package caps assembles the simulator's capability inventory — the one
+// source of truth behind tkserve's GET /v1/capabilities and the CLI
+// `-list` outputs (tksim, tkexp). Anything a request can name (engines,
+// benchmarks, victim filters, prefetchers, experiments) is enumerated
+// here from the packages that define it, so the server and every command
+// advertise exactly the same vocabulary.
+package caps
+
+import (
+	"timekeeping/internal/experiments"
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+	"timekeeping/pkg/api"
+)
+
+// Local returns this binary's capability inventory. The service-state
+// fields (Events, Store, Cluster) are left zero: they describe a running
+// server's configuration, which tkserve overlays before answering.
+func Local() api.Capabilities {
+	c := api.Capabilities{
+		Engines:       []string{string(sim.EngineAuto)},
+		Benches:       workload.Names(),
+		VictimFilters: asStrings(sim.VictimFilters()),
+		Prefetchers:   asStrings(sim.Prefetchers()),
+		Sampling:      true,
+	}
+	c.Engines = append(c.Engines, asStrings(sim.Engines())...)
+	for _, e := range experiments.All() {
+		c.Experiments = append(c.Experiments, api.ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	for _, e := range experiments.Ablations() {
+		c.Experiments = append(c.Experiments, api.ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	return c
+}
+
+func asStrings[T ~string](vals []T) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = string(v)
+	}
+	return out
+}

@@ -22,18 +22,18 @@ type decayTallyJSON struct {
 
 // metricsJSON is Metrics' wire form.
 type metricsJSON struct {
-	Generations  uint64                             `json:"generations"`
-	Live         *stats.Hist                        `json:"live"`
-	Dead         *stats.Hist                        `json:"dead"`
-	AccInt       *stats.Hist                        `json:"acc_int"`
-	Reload       *stats.Hist                        `json:"reload"`
-	DeadByKind   map[classify.MissKind]*stats.Hist  `json:"dead_by_kind"`
-	ReloadByKind map[classify.MissKind]*stats.Hist  `json:"reload_by_kind"`
-	ZeroLive     stats.BinaryPredictionTally        `json:"zero_live"`
-	Decay        []decayTallyJSON                   `json:"decay"`
-	LivePred     stats.BinaryPredictionTally        `json:"live_pred"`
-	LiveDiff     *stats.DiffHist                    `json:"live_diff"`
-	LiveRatio    *stats.RatioHist                   `json:"live_ratio"`
+	Generations  uint64                            `json:"generations"`
+	Live         *stats.Hist                       `json:"live"`
+	Dead         *stats.Hist                       `json:"dead"`
+	AccInt       *stats.Hist                       `json:"acc_int"`
+	Reload       *stats.Hist                       `json:"reload"`
+	DeadByKind   map[classify.MissKind]*stats.Hist `json:"dead_by_kind"`
+	ReloadByKind map[classify.MissKind]*stats.Hist `json:"reload_by_kind"`
+	ZeroLive     stats.BinaryPredictionTally       `json:"zero_live"`
+	Decay        []decayTallyJSON                  `json:"decay"`
+	LivePred     stats.BinaryPredictionTally       `json:"live_pred"`
+	LiveDiff     *stats.DiffHist                   `json:"live_diff"`
+	LiveRatio    *stats.RatioHist                  `json:"live_ratio"`
 }
 
 // MarshalJSON encodes the metrics including the decay-predictor tallies.

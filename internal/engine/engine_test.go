@@ -1,0 +1,290 @@
+package engine_test
+
+import (
+	"context"
+
+	"reflect"
+	"testing"
+	"timekeeping/internal/cache"
+
+	"timekeeping/internal/core"
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/decay"
+	"timekeeping/internal/engine"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/prefetch"
+	"timekeeping/internal/victim"
+	"timekeeping/internal/workload"
+)
+
+// outcome collects everything both execution paths must agree on.
+type outcome struct {
+	Warm    cpu.Result
+	Final   cpu.Result
+	Hier    hier.Stats
+	Victim  *victim.Stats
+	Tracker *core.Metrics
+	Decay   []decay.Result
+	PFTime  *prefetch.Timeliness
+	PFInfo  [2]uint64 // issued, scheduled-ish
+}
+
+type fixture struct {
+	hier     hier.Config
+	cpu      cpu.Config
+	victim   string // "", "none", "collins", "decay"
+	prefetch string // "", "tk", "dbcp", "nextline"
+	track    bool
+	decay    []uint64
+	warmup   uint64
+	measure  uint64
+}
+
+// runReference drives the legacy cpu.Model + hier.Hierarchy path.
+func runReference(t *testing.T, bench string, fx fixture) outcome {
+	t.Helper()
+	h := hier.New(fx.hier)
+	var out outcome
+
+	var vc *victim.Cache
+	if fx.victim != "" {
+		vc = victim.New(32, victimFilter(fx.victim, h.L1().NumFrames()))
+		h.AttachVictim(vc)
+	}
+	var tk *prefetch.Timekeeping
+	var dbcp *prefetch.DBCP
+	var nl *prefetch.NextLine
+	switch fx.prefetch {
+	case "tk":
+		tk = prefetch.NewTimekeeping(prefetch.DefaultConfig(), core.NewCorrTable(core.DefaultCorrConfig()), h.L1())
+		h.AttachPrefetcher(tk)
+	case "dbcp":
+		dbcp = prefetch.NewDBCP(prefetch.DefaultConfig(), 1<<14, h.L1())
+		h.AttachPrefetcher(dbcp)
+	case "nextline":
+		nl = prefetch.NewNextLine(prefetch.DefaultConfig(), h.L1())
+		h.AttachPrefetcher(nl)
+	}
+	var tracker *core.Tracker
+	if fx.track {
+		tracker = core.NewTracker(h.L1().NumFrames())
+		h.AddObserver(tracker)
+	}
+	var dec *decay.Sim
+	if len(fx.decay) > 0 {
+		dec = decay.New(h.L1().NumFrames(), fx.decay)
+		h.AddObserver(dec)
+	}
+
+	m := cpu.New(fx.cpu, h)
+	spec := workload.MustProfile(bench)
+	stream := spec.Stream(1)
+	warm, err := m.RunContext(context.Background(), stream, fx.warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Warm = warm
+	h.ResetStats()
+	if vc != nil {
+		vc.ResetStats()
+	}
+	if tk != nil {
+		tk.ResetStats()
+	}
+	if dbcp != nil {
+		dbcp.ResetStats()
+	}
+	if nl != nil {
+		nl.ResetStats()
+	}
+	if tracker != nil {
+		tracker.Reset()
+	}
+	final, err := m.RunContext(context.Background(), stream, fx.measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Final = final
+	out.Hier = h.Stats()
+	if vc != nil {
+		s := vc.Stats()
+		out.Victim = &s
+	}
+	if tracker != nil {
+		out.Tracker = tracker.Metrics()
+	}
+	if dec != nil {
+		out.Decay = dec.Results()
+	}
+	switch {
+	case tk != nil:
+		tl := tk.Timeliness()
+		out.PFTime = &tl
+		out.PFInfo = [2]uint64{tk.Issued(), tk.Scheduled()}
+	case dbcp != nil:
+		tl := dbcp.Timeliness()
+		out.PFTime = &tl
+		out.PFInfo = [2]uint64{dbcp.Issued(), 0}
+	case nl != nil:
+		tl := nl.Timeliness()
+		out.PFTime = &tl
+		out.PFInfo = [2]uint64{nl.Issued(), 0}
+	}
+	return out
+}
+
+// runFast drives the batched SoA engine with identical attachments.
+func runFast(t *testing.T, bench string, fx fixture) outcome {
+	t.Helper()
+	e := engine.New(engine.Config{Hier: fx.hier, CPU: fx.cpu})
+	var out outcome
+
+	var vc *victim.Cache
+	if fx.victim != "" {
+		vc = victim.New(32, victimFilter(fx.victim, e.NumFrames()))
+		e.AttachVictim(vc)
+	}
+	var tk *prefetch.Timekeeping
+	var dbcp *prefetch.DBCP
+	var nl *prefetch.NextLine
+	switch fx.prefetch {
+	case "tk":
+		tk = prefetch.NewTimekeeping(prefetch.DefaultConfig(), core.NewCorrTable(core.DefaultCorrConfig()), e.L1())
+		e.AttachTimekeeping(tk)
+	case "dbcp":
+		dbcp = prefetch.NewDBCP(prefetch.DefaultConfig(), 1<<14, e.L1())
+		e.AttachDBCP(dbcp)
+	case "nextline":
+		nl = prefetch.NewNextLine(prefetch.DefaultConfig(), e.L1())
+		e.AttachNextLine(nl)
+	}
+	var tracker *core.FastTracker
+	if fx.track {
+		tracker = core.NewFastTracker(e.NumFrames())
+		e.AttachTracker(tracker)
+	}
+	var dec *decay.Sim
+	if len(fx.decay) > 0 {
+		dec = decay.New(e.NumFrames(), fx.decay)
+		e.AttachDecay(dec)
+	}
+
+	spec := workload.MustProfile(bench)
+	stream := spec.Stream(1)
+	warm, err := e.Run(context.Background(), stream, fx.warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Warm = warm
+	e.ResetStats()
+	if vc != nil {
+		vc.ResetStats()
+	}
+	if tk != nil {
+		tk.ResetStats()
+	}
+	if dbcp != nil {
+		dbcp.ResetStats()
+	}
+	if nl != nil {
+		nl.ResetStats()
+	}
+	if tracker != nil {
+		tracker.Reset()
+	}
+	final, err := e.Run(context.Background(), stream, fx.measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Final = final
+	out.Hier = e.Stats()
+	if vc != nil {
+		s := vc.Stats()
+		out.Victim = &s
+	}
+	if tracker != nil {
+		out.Tracker = tracker.Metrics()
+	}
+	if dec != nil {
+		out.Decay = dec.Results()
+	}
+	switch {
+	case tk != nil:
+		tl := tk.Timeliness()
+		out.PFTime = &tl
+		out.PFInfo = [2]uint64{tk.Issued(), tk.Scheduled()}
+	case dbcp != nil:
+		tl := dbcp.Timeliness()
+		out.PFTime = &tl
+		out.PFInfo = [2]uint64{dbcp.Issued(), 0}
+	case nl != nil:
+		tl := nl.Timeliness()
+		out.PFTime = &tl
+		out.PFInfo = [2]uint64{nl.Issued(), 0}
+	}
+	return out
+}
+
+func victimFilter(name string, frames int) victim.Filter {
+	switch name {
+	case "none":
+		return victim.NoFilter{}
+	case "collins":
+		return victim.NewCollinsFilter(frames)
+	case "decay":
+		return victim.NewDecayFilter()
+	}
+	panic("unknown filter " + name)
+}
+
+// TestEngineMatchesReference proves the SoA engine and the reference
+// loop produce identical results across mechanism combinations.
+func TestEngineMatchesReference(t *testing.T) {
+	base := fixture{
+		hier:    hier.DefaultConfig(),
+		cpu:     cpu.DefaultConfig(),
+		warmup:  20_000,
+		measure: 60_000,
+	}
+	cases := []struct {
+		name  string
+		bench string
+		mod   func(*fixture)
+	}{
+		{"base-mcf", "mcf", func(f *fixture) {}},
+		{"track-twolf", "twolf", func(f *fixture) { f.track = true }},
+		{"perfect-gcc", "gcc", func(f *fixture) { f.hier.PerfectL1 = true; f.track = true }},
+		{"victim-none-vpr", "vpr", func(f *fixture) { f.victim = "none" }},
+		{"victim-collins-twolf", "twolf", func(f *fixture) { f.victim = "collins" }},
+		{"victim-decay-eon", "eon", func(f *fixture) { f.victim = "decay"; f.track = true }},
+		{"decay-ammp", "ammp", func(f *fixture) { f.decay = decay.DefaultIntervals; f.track = true }},
+		{"pf-tk-facerec", "facerec", func(f *fixture) { f.prefetch = "tk"; f.track = true }},
+		{"pf-dbcp-swim", "swim", func(f *fixture) { f.prefetch = "dbcp" }},
+		{"pf-nextline-gcc", "gcc", func(f *fixture) { f.prefetch = "nextline" }},
+		{"pf-tk-assoc-mcf", "mcf", func(f *fixture) {
+			f.hier.L1 = cache.Config{Name: "L1D", Bytes: 64 << 10, BlockBytes: 64, Ways: 2}
+			f.prefetch = "tk"
+			f.track = true
+		}},
+		{"pf-nl-assoc-gcc", "gcc", func(f *fixture) {
+			f.hier.L1 = cache.Config{Name: "L1D", Bytes: 8 << 10, BlockBytes: 32, Ways: 2}
+			f.prefetch = "nextline"
+		}},
+		{"assoc-l1-mcf", "mcf", func(f *fixture) {
+			f.hier.L1.Ways = 4
+			f.track = true
+			f.victim = "decay"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := base
+			tc.mod(&fx)
+			ref := runReference(t, tc.bench, fx)
+			fast := runFast(t, tc.bench, fx)
+			if !reflect.DeepEqual(ref, fast) {
+				t.Errorf("engine diverges from reference\nref:  %+v\nfast: %+v", ref, fast)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ package oracle_test
 // lockstep verification; -short runs a representative benchmark subset.
 
 import (
+	"context"
 	"testing"
 
 	"timekeeping/internal/decay"
@@ -45,7 +46,7 @@ func TestAuditAllBenchmarks(t *testing.T) {
 				opt.MeasureRefs = 25_000
 				opt.Audit = true
 				cfg.mut(&opt)
-				res, err := sim.Run(workload.MustProfile(b), opt)
+				res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile(b), Opts: opt})
 				if err != nil {
 					t.Fatalf("%s: %v", b, err)
 				}
@@ -71,7 +72,7 @@ func TestAuditEnvToggle(t *testing.T) {
 	opt := sim.Default()
 	opt.WarmupRefs = 1_000
 	opt.MeasureRefs = 5_000
-	res, err := sim.Run(workload.MustProfile("eon"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("eon"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestAuditDeterministic(t *testing.T) {
 	opt.MeasureRefs = 10_000
 	opt.Audit = true
 	opt.Track = true
-	r1, err := sim.Run(workload.MustProfile("twolf"), opt)
+	r1, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("twolf"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := sim.Run(workload.MustProfile("twolf"), opt)
+	r2, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("twolf"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package oracle_test
 // workload change that needs review).
 
 import (
+	"context"
 	"testing"
 
 	"timekeeping/internal/cache"
@@ -129,7 +130,7 @@ func TestPrefetchDoesNotChangeDemandClassification(t *testing.T) {
 			opt.MeasureRefs = 25_000
 			opt.Audit = true
 			opt.Prefetcher = p
-			res, err := sim.Run(workload.MustProfile(b), opt)
+			res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile(b), Opts: opt})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", b, p, err)
 			}

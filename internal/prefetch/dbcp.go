@@ -20,7 +20,7 @@ import (
 // cover mcf-scale footprints that thrash the 8 KB timekeeping table.
 type DBCP struct {
 	cfg  Config
-	l1   *cache.Cache
+	l1   L1View
 	mask uint64
 
 	entries []dbcpEntry
@@ -47,7 +47,7 @@ type dbcpFrame struct {
 const DBCPEntries = 1 << 19
 
 // NewDBCP builds a DBCP with the given entry count (a power of two).
-func NewDBCP(cfg Config, entries int, l1 *cache.Cache) *DBCP {
+func NewDBCP(cfg Config, entries int, l1 L1View) *DBCP {
 	if entries < 2 || entries&(entries-1) != 0 {
 		panic(fmt.Sprintf("prefetch: DBCP entries %d must be a power of two >= 2", entries))
 	}

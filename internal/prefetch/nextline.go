@@ -19,13 +19,13 @@ import (
 // never knows *when* to prefetch (it always fires immediately).
 type NextLine struct {
 	cfg        Config
-	l1         *cache.Cache
+	l1         L1View
 	eng        *engine
 	prefetched map[uint64]bool // blocks installed by prefetch, not yet touched
 }
 
 // NewNextLine builds a tagged next-line prefetcher.
-func NewNextLine(cfg Config, l1 *cache.Cache) *NextLine {
+func NewNextLine(cfg Config, l1 L1View) *NextLine {
 	if cfg.QueueEntries < 1 {
 		panic("prefetch: queue must have >= 1 entry")
 	}

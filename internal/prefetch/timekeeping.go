@@ -75,7 +75,7 @@ type tkFrame struct {
 type Timekeeping struct {
 	cfg    Config
 	table  *core.CorrTable
-	l1     *cache.Cache
+	l1     L1View
 	frames []tkFrame
 	sets   []tkSet
 	eng    *engine
@@ -84,7 +84,7 @@ type Timekeeping struct {
 // NewTimekeeping builds the prefetcher over the hierarchy's L1 geometry
 // and a correlation table (use core.DefaultCorrConfig for the paper's 8 KB
 // table).
-func NewTimekeeping(cfg Config, table *core.CorrTable, l1 *cache.Cache) *Timekeeping {
+func NewTimekeeping(cfg Config, table *core.CorrTable, l1 L1View) *Timekeeping {
 	if cfg.QueueEntries < 1 {
 		panic("prefetch: queue must have >= 1 entry")
 	}

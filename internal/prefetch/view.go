@@ -1,0 +1,28 @@
+package prefetch
+
+import "timekeeping/internal/cache"
+
+// L1View is the read-only window a prefetcher needs onto the L1: its
+// geometry (for reconstructing block addresses from predicted tags) and
+// its current contents (for next-line's tag maintenance). Both the
+// reference *cache.Cache and the fast engine's struct-of-arrays L1
+// satisfy it, so one prefetcher implementation trains identically under
+// either execution engine.
+type L1View interface {
+	// Config reports the cache geometry.
+	Config() cache.Config
+	// NumFrames is the total frame count (sets x ways).
+	NumFrames() int
+	// Set extracts the set index from a byte address.
+	Set(addr uint64) uint64
+	// Tag extracts the tag from a byte address.
+	Tag(addr uint64) uint64
+	// FrameOf maps (set, way) to a flat frame index.
+	FrameOf(set uint64, way int) int
+	// FrameAddr reconstructs the resident block address of a frame.
+	FrameAddr(frame int) (addr uint64, valid bool)
+	// Probe reports residency without touching replacement state.
+	Probe(addr uint64) (frame int, hit bool)
+}
+
+var _ L1View = (*cache.Cache)(nil)

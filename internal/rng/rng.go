@@ -15,6 +15,12 @@ import "math"
 // The zero value is not usable; construct one with New.
 type Source struct {
 	s0, s1, s2, s3 uint64
+
+	// Geometric's denominator log(1-p) cache: callers draw with the same
+	// mean for a whole run, and the transcendental is half the sample's
+	// cost. Reusing the stored float64 is bit-identical to recomputing.
+	geoMean float64
+	geoDen  float64
 }
 
 // New returns a Source seeded from the given seed via splitmix64, so that
@@ -112,13 +118,17 @@ func (r *Source) Geometric(m float64) int {
 	if m <= 0 {
 		return 0
 	}
-	p := 1 / (m + 1)
+	if m != r.geoMean || r.geoDen == 0 {
+		p := 1 / (m + 1)
+		r.geoMean = m
+		r.geoDen = math.Log(1 - p)
+	}
 	// Inverse transform sampling; cap to keep pathological tails bounded.
 	u := r.Float64()
 	if u <= 0 {
 		u = 1e-18
 	}
-	n := int(math.Log(u) / math.Log(1-p))
+	n := int(math.Log(u) / r.geoDen)
 	const maxGap = 1 << 20
 	if n < 0 {
 		return 0

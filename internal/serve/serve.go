@@ -11,6 +11,7 @@
 //
 // Endpoints:
 //
+//	GET    /v1/capabilities          advertise engines, benches, filters, features
 //	POST   /v1/run                   run one simulation (async with "async":true)
 //	POST   /v1/experiments/{id}      regenerate a paper figure/table/ablation
 //	GET    /v1/jobs                  list jobs
@@ -36,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timekeeping/internal/caps"
 	"timekeeping/internal/cluster"
 	"timekeeping/internal/events"
 	"timekeeping/internal/experiments"
@@ -140,6 +142,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
@@ -226,15 +229,19 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.shutdown(ctx
 
 // options resolves the request against the server's base configuration.
 // The *api.Error return carries the stable code and accepted-values list.
-func (s *Server) options(req api.RunRequest) (sim.Options, *api.Error) {
+func (s *Server) options(req api.RunRequest) (sim.Options, sim.Engine, *api.Error) {
 	opt := s.base
+	eng, err := sim.ParseEngine(req.Engine)
+	if err != nil {
+		return sim.Options{}, "", filterError(err)
+	}
 	vf, err := sim.ParseVictimFilter(req.Victim)
 	if err != nil {
-		return sim.Options{}, filterError(err)
+		return sim.Options{}, "", filterError(err)
 	}
 	pf, err := sim.ParsePrefetcher(req.Prefetch)
 	if err != nil {
-		return sim.Options{}, filterError(err)
+		return sim.Options{}, "", filterError(err)
 	}
 	opt.VictimFilter = vf
 	opt.Prefetcher = pf
@@ -256,11 +263,32 @@ func (s *Server) options(req api.RunRequest) (sim.Options, *api.Error) {
 	if req.Sampling != nil {
 		pol := samplingPolicy(req.Sampling)
 		if aerr := checkSampling(pol, opt.Audit); aerr != nil {
-			return sim.Options{}, aerr
+			return sim.Options{}, "", aerr
 		}
 		opt.Sampling = pol
 	}
-	return opt, nil
+	// Reject an explicit fast-engine request up front when the run needs
+	// instrumentation only the reference loop carries, instead of failing
+	// the job at run time.
+	if eng == sim.EngineFast {
+		reason := ""
+		switch {
+		case opt.Sampling != nil:
+			reason = "statistical sampling"
+		case req.Events:
+			reason = "event capture"
+		case opt.Audit:
+			reason = "audit mode"
+		}
+		if reason != "" {
+			return sim.Options{}, "", &api.Error{
+				Code: api.CodeBadRequest,
+				Message: fmt.Sprintf("engine %q cannot run with %s (use %q or %q)",
+					sim.EngineFast, reason, sim.EngineAuto, sim.EngineReference),
+			}
+		}
+	}
+	return opt, eng, nil
 }
 
 // samplingPolicy converts the wire policy to the simulator's.
@@ -319,7 +347,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	opt, aerr := s.options(req)
+	opt, eng, aerr := s.options(req)
 	if aerr != nil {
 		writeError(w, http.StatusBadRequest, aerr)
 		return
@@ -381,7 +409,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		opt.Events = j.events // nil unless the request asked for capture
 		span := j.events.BeginSpan("resolve "+spec.Name, 0)
 		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
-			return sim.RunContext(ctx, spec, opt)
+			return sim.Run(ctx, sim.Spec{Workload: spec, Opts: opt, Engine: eng})
 		})
 		j.events.EndSpan(span, res.CPU.Cycles)
 		if err == nil && outcome != simcache.Miss {
@@ -437,10 +465,12 @@ func (s *Server) CacheKey(req api.RunRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	opt, aerr := s.options(req)
+	opt, _, aerr := s.options(req)
 	if aerr != nil {
 		return "", aerr
 	}
+	// The engine is deliberately absent from the key: the engines are
+	// proven result-identical, so either may satisfy a stored entry.
 	return simcache.Key(spec.Name, opt), nil
 }
 
@@ -508,11 +538,25 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, aerr)
 		return
 	}
+	eng, err := sim.ParseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, filterError(err))
+		return
+	}
+	if eng == sim.EngineFast && req.Sampling != nil {
+		writeError(w, http.StatusBadRequest, &api.Error{
+			Code: api.CodeBadRequest,
+			Message: fmt.Sprintf("engine %q cannot run with statistical sampling (use %q or %q)",
+				sim.EngineFast, sim.EngineAuto, sim.EngineReference),
+		})
+		return
+	}
 
 	fn := func(ctx context.Context, j *job) error {
 		rn := experiments.NewRunner()
 		rn.Cache = s.cache
 		rn.Ctx = ctx
+		rn.Engine = eng
 		rn.Opts.Progress = j.prog
 		if req.Warmup > 0 {
 			rn.Opts.WarmupRefs = req.Warmup
@@ -597,6 +641,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleCapabilities advertises everything this server can be asked for:
+// the shared capability inventory (caps.Local) overlaid with the
+// service-state features this instance has switched on.
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	c := caps.Local()
+	c.Events = s.events
+	c.Store = s.store != nil
+	if s.cluster != nil {
+		c.Cluster = &api.ClusterView{Self: s.cluster.Self(), Peers: s.cluster.Peers()}
+	}
+	writeJSON(w, http.StatusOK, c)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

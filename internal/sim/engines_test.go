@@ -1,0 +1,93 @@
+package sim_test
+
+// TestEnginesAgreeOnCorpus is the differential gate between the two
+// execution engines: every benchmark in the suite runs once under the
+// reference loop and once under the batched SoA engine, with the
+// timekeeping tracker and a cache-decay evaluation attached and the
+// victim-cache / prefetcher mechanisms rotated across benchmarks, and
+// the two sim.Results must be byte-identical in canonical JSON — CPU
+// timing, hierarchy counters, predictor tallies, decay results and
+// prefetch outputs included.
+//
+// This gate runs at a reduced reference count to keep its 2x52-run cost
+// in check; full corpus-scale anchoring comes for free from the golden
+// regression test, whose on-disk entries were recorded under the
+// reference loop and are verified under the default (fast) engine.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"timekeeping/internal/sim"
+	"timekeeping/internal/workload"
+)
+
+// engineGateOptions attaches every observer the engines must agree on
+// and rotates the mechanism under test by benchmark index.
+func engineGateOptions(i int) sim.Options {
+	opt := sim.Default()
+	opt.WarmupRefs = 10_000
+	opt.MeasureRefs = 40_000
+	opt.Track = true
+	opt.DecayIntervals = []uint64{1 << 12, 1 << 15}
+	switch i % 4 {
+	case 1:
+		opt.VictimFilter = sim.VictimDecay
+	case 2:
+		opt.Prefetcher = sim.PrefetchTK
+	case 3:
+		opt.Prefetcher = sim.PrefetchNextLine
+		opt.VictimFilter = sim.VictimCollins
+	}
+	// A few set-associative L1 points so the gate is not all
+	// direct-mapped.
+	if i%5 == 4 {
+		opt.Hier.L1.Ways = 2
+	}
+	return opt
+}
+
+func TestEnginesAgreeOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2x26 full runs; skipped under -short")
+	}
+	for i, bench := range workload.Names() {
+		i, bench := i, bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			opt := engineGateOptions(i)
+			spec := workload.MustProfile(bench)
+
+			ref, err := sim.Run(context.Background(),
+				sim.Spec{Workload: spec, Opts: opt, Engine: sim.EngineReference})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := sim.Run(context.Background(),
+				sim.Spec{Workload: spec, Opts: opt, Engine: sim.EngineFast})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Engine != sim.EngineReference || fast.Engine != sim.EngineFast {
+				t.Fatalf("engine labels wrong: ref %q, fast %q", ref.Engine, fast.Engine)
+			}
+
+			// Canonical-JSON byte equality (Engine is json:"-", so the
+			// label itself is excluded — by design: results must be
+			// engine-neutral).
+			rb, err := json.MarshalIndent(ref, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := json.MarshalIndent(fast, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rb, fb) {
+				t.Errorf("engines diverge on %s:\nreference: %s\nfast:      %s", bench, rb, fb)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestEventsEndToEnd(t *testing.T) {
 	opt.MeasureRefs = 40_000
 	opt.Events = sink
 
-	res, err := Run(workload.MustProfile("gcc"), opt)
+	res, err := Run(context.Background(), Spec{Workload: workload.MustProfile("gcc"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestEventsSampledRun(t *testing.T) {
 	opt.Sampling = &sample.Policy{DetailedRefs: 1024, WarmRefs: 8192, DetailedWarmRefs: 256}
 	opt.Events = sink
 
-	if _, err := Run(workload.MustProfile("eon"), opt); err != nil {
+	if _, err := Run(context.Background(), Spec{Workload: workload.MustProfile("eon"), Opts: opt}); err != nil {
 		t.Fatal(err)
 	}
 	var warm, windows int

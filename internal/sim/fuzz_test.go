@@ -9,6 +9,8 @@ package sim_test
 // (-fuzztime=30s); longer local runs just need `go test -fuzz`.
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"timekeeping/internal/cache"
@@ -111,7 +113,7 @@ func FuzzAuditedRun(f *testing.F) {
 			opt.Hier.PerfectL1 = true
 		}
 
-		res, err := sim.Run(spec, opt)
+		res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: opt})
 		if err != nil {
 			t.Fatalf("audited run diverged: %v", err)
 		}
@@ -120,6 +122,26 @@ func FuzzAuditedRun(f *testing.F) {
 		}
 		if res.Audit.Refs != opt.WarmupRefs+opt.MeasureRefs {
 			t.Fatalf("audited %d refs, want %d", res.Audit.Refs, opt.WarmupRefs+opt.MeasureRefs)
+		}
+
+		// Cross-engine check: the same input through the batched SoA
+		// engine (which cannot carry the auditor) must reproduce the
+		// audited reference run's results exactly. Two oracles per input:
+		// the lockstep functional re-implementation above, and the
+		// independent engine rewrite here.
+		fopt := opt
+		fopt.Audit = false
+		fast, err := sim.Run(context.Background(),
+			sim.Spec{Workload: spec, Opts: fopt, Engine: sim.EngineFast})
+		if err != nil {
+			t.Fatalf("fast engine run failed: %v", err)
+		}
+		want := res
+		want.Audit = nil
+		want.Engine = ""
+		fast.Engine = ""
+		if !reflect.DeepEqual(want, fast) {
+			t.Fatalf("fast engine diverges from audited reference run\nref:  %+v\nfast: %+v", want, fast)
 		}
 	})
 }

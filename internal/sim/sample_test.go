@@ -6,6 +6,7 @@ package sim_test
 // (internal/golden imports internal/sim).
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -44,7 +45,7 @@ func TestSampledEstimateMatchesGolden(t *testing.T) {
 			if err != nil {
 				t.Fatalf("loading golden entry: %v", err)
 			}
-			res, err := sim.Run(workload.MustProfile(bench), sampledOptions())
+			res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile(bench), Opts: sampledOptions()})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,15 +89,18 @@ func TestSampledSpeedup(t *testing.T) {
 	}
 	spec := workload.MustProfile("facerec")
 
+	// Sampling alternates functional warming with detailed windows on
+	// the reference model, so its speedup promise is relative to an
+	// exact reference-engine run — pin the engine accordingly.
 	exact := golden.CorpusOptions()
 	start := time.Now()
-	if _, err := sim.Run(spec, exact); err != nil {
+	if _, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: exact, Engine: sim.EngineReference}); err != nil {
 		t.Fatal(err)
 	}
 	exactWall := time.Since(start)
 
 	start = time.Now()
-	res, err := sim.Run(spec, sampledOptions())
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: sampledOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +136,7 @@ func TestSampledDistinctCacheKeys(t *testing.T) {
 func TestSampledAuditRejected(t *testing.T) {
 	opt := sampledOptions()
 	opt.Audit = true
-	_, err := sim.Run(workload.MustProfile("gcc"), opt)
+	_, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("gcc"), Opts: opt})
 	if !errors.Is(err, sim.ErrSampledAudit) {
 		t.Fatalf("err = %v, want ErrSampledAudit", err)
 	}
@@ -146,7 +150,7 @@ func TestSampledEnvAuditSkipped(t *testing.T) {
 	opt := sampledOptions()
 	opt.WarmupRefs = 20_000
 	opt.MeasureRefs = 100_000
-	res, err := sim.Run(workload.MustProfile("gcc"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("gcc"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +165,7 @@ func TestSampledEnvAuditSkipped(t *testing.T) {
 func TestSampledPolicyValidation(t *testing.T) {
 	opt := sampledOptions()
 	opt.Sampling.DetailedRefs = 0
-	if _, err := sim.Run(workload.MustProfile("gcc"), opt); err == nil {
+	if _, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("gcc"), Opts: opt}); err == nil {
 		t.Fatal("invalid policy accepted")
 	}
 }
@@ -172,7 +176,7 @@ func TestSampledTargetCI(t *testing.T) {
 	opt.MeasureRefs = 400_000
 	opt.Sampling.TargetRelCI = 0.5 // loose: met at MinWindows
 	opt.Sampling.MinWindows = 2
-	res, err := sim.Run(workload.MustProfile("crafty"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("crafty"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +216,7 @@ func TestSampledResultShape(t *testing.T) {
 	opt := sampledOptions()
 	opt.WarmupRefs = 20_000
 	opt.MeasureRefs = 150_000
-	res, err := sim.Run(workload.MustProfile("gzip"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("gzip"), Opts: opt})
 	if err != nil {
 		t.Fatal(err)
 	}

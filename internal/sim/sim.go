@@ -2,6 +2,15 @@
 // simulation runs — the equivalent of one SimpleScalar invocation in the
 // paper's methodology. A run warms caches and predictors for WarmupRefs
 // references, resets all statistics, then measures MeasureRefs references.
+//
+// Run accepts a Spec, which names the benchmark (or supplies an explicit
+// reference stream), carries the Options, and selects the execution
+// engine: the batched struct-of-arrays fast engine (internal/engine) or
+// the original reference loop (internal/cpu + internal/hier). Both
+// produce bit-identical results — the differential gate in
+// internal/golden proves it over the full corpus — so EngineAuto picks
+// the fast engine whenever the run's options allow it and falls back to
+// the reference loop for audited, sampled, or event-capturing runs.
 package sim
 
 import (
@@ -34,11 +43,11 @@ import (
 var ErrSampledAudit = errors.New("sim: sampling cannot be combined with audit mode")
 
 // UnknownValueError reports a user-supplied enum value (victim filter,
-// prefetcher) that is not one of the accepted names. Callers that present
-// errors structurally (the HTTP service's error envelope) read Accepted;
-// Error() renders the same list as text.
+// prefetcher, engine) that is not one of the accepted names. Callers that
+// present errors structurally (the HTTP service's error envelope) read
+// Accepted; Error() renders the same list as text.
 type UnknownValueError struct {
-	Kind     string // "victim filter" or "prefetcher"
+	Kind     string // "victim filter", "prefetcher" or "engine"
 	Value    string
 	Accepted []string
 }
@@ -111,6 +120,47 @@ func ParsePrefetcher(s string) (Prefetcher, error) {
 	return "", &UnknownValueError{Kind: "prefetcher", Value: s, Accepted: names(Prefetchers())}
 }
 
+// Engine selects the execution engine that drives a run.
+type Engine string
+
+// Execution engines. The two engines implement the same transition
+// function and produce identical results; they differ only in speed and
+// in which optional instrumentation they support.
+const (
+	// EngineAuto picks EngineFast when the run's options allow it and
+	// EngineReference otherwise (audit, sampling, event capture). The
+	// zero value "" behaves like EngineAuto everywhere.
+	EngineAuto Engine = "auto"
+	// EngineFast is the batched struct-of-arrays engine
+	// (internal/engine). It rejects options it cannot honour.
+	EngineFast Engine = "fast"
+	// EngineReference is the original cpu.Model + hier.Hierarchy loop,
+	// kept as the executable specification: it supports every option and
+	// anchors the differential gate.
+	EngineReference Engine = "reference"
+)
+
+// Engines lists every concrete (non-auto) Engine value.
+func Engines() []Engine { return []Engine{EngineFast, EngineReference} }
+
+// ParseEngine validates a user-supplied engine name. Both "" and "auto"
+// parse to EngineAuto. The error names the accepted values.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case Engine(""), EngineAuto:
+		return EngineAuto, nil
+	case EngineFast, EngineReference:
+		return Engine(s), nil
+	}
+	return "", &UnknownValueError{
+		Kind:  "engine",
+		Value: s,
+		Accepted: []string{
+			string(EngineAuto), string(EngineFast), string(EngineReference),
+		},
+	}
+}
+
 func names[T ~string](vals []T) []string {
 	out := make([]string, len(vals))
 	for i, v := range vals {
@@ -149,7 +199,8 @@ type Options struct {
 	// divergence in hit/miss classification, eviction choice, or
 	// timekeeping invariants. Roughly doubles simulation cost. The
 	// TK_AUDIT environment variable (any non-empty value) forces audit
-	// mode on for every run in the process.
+	// mode on for every run in the process. Audited runs always use the
+	// reference engine (the oracle hooks live in the reference loop).
 	Audit bool
 
 	// DecayIntervals, when non-empty, attaches a cache-decay evaluation
@@ -170,7 +221,7 @@ type Options struct {
 	// cover the whole run and tracker metrics cover detailed windows.
 	// The field marshals (omitted when nil), so sampled and exact runs
 	// get distinct simcache keys. Incompatible with Audit — see
-	// ErrSampledAudit.
+	// ErrSampledAudit. Sampled runs always use the reference engine.
 	Sampling *sample.Policy `json:",omitempty"`
 
 	WarmupRefs  uint64
@@ -191,7 +242,8 @@ type Options struct {
 	// export as a Perfetto trace or JSONL. Like Progress it does not
 	// affect simulation behaviour and is excluded from content hashing —
 	// but note that a simcache hit therefore yields an empty capture (the
-	// run never executed). A multi-run job may share one sink.
+	// run never executed). A multi-run job may share one sink. Capturing
+	// runs always use the reference engine (the hooks live there).
 	Events *events.Sink `json:"-"`
 }
 
@@ -208,11 +260,42 @@ func Default() Options {
 	}
 }
 
+// Spec describes one complete run: what to simulate (a workload profile
+// or an explicit reference stream), how (Options), and which engine
+// drives it. Engine deliberately lives here rather than in Options: the
+// engines produce identical results by construction, so the choice must
+// not change result identity — simcache.Key hashes Options only, and a
+// cached result answers requests for either engine.
+type Spec struct {
+	// Workload names the benchmark profile; it supplies the reference
+	// stream (seeded by Opts.Seed) and the result label. Ignored when
+	// Stream is non-nil.
+	Workload workload.Spec
+
+	// Stream, when non-nil, replays an explicit reference stream (e.g. a
+	// saved trace file) instead of generating one from Workload.
+	Stream trace.Stream
+
+	// Name labels the result; it defaults to Workload.Name when a
+	// workload supplies the stream.
+	Name string
+
+	Opts Options
+
+	// Engine selects the execution engine; the zero value is EngineAuto.
+	Engine Engine
+}
+
 // Result is everything a run produced over the measurement window.
 type Result struct {
 	Bench string
 	CPU   cpu.Result
 	Hier  hier.Stats
+
+	// Engine records which execution engine produced the result. It is
+	// excluded from marshalling so cached results stay engine-neutral
+	// (both engines produce identical numbers; see Spec.Engine).
+	Engine Engine `json:"-"`
 
 	// TotalRefs counts every reference the run processed, including the
 	// warm-up window (CPU.Refs covers the measured window only).
@@ -252,28 +335,21 @@ func (r Result) VictimFillPerCycle() float64 {
 	return float64(r.Victim.Admitted) / float64(r.CPU.Cycles)
 }
 
-// Run simulates the benchmark under the given options.
-func Run(spec workload.Spec, opt Options) (Result, error) {
-	return RunContext(context.Background(), spec, opt)
-}
-
-// RunContext is Run with cancellation: when ctx is cancelled the
-// simulation stops at reference-loop granularity and returns ctx's error.
-func RunContext(ctx context.Context, spec workload.Spec, opt Options) (Result, error) {
-	if err := spec.Validate(); err != nil {
-		return Result{}, err
+// Run simulates one Spec. When ctx is cancelled the simulation stops at
+// reference-loop granularity and returns ctx's error.
+func Run(ctx context.Context, s Spec) (Result, error) {
+	opt := s.Opts
+	name := s.Name
+	stream := s.Stream
+	if stream == nil {
+		if err := s.Workload.Validate(); err != nil {
+			return Result{}, err
+		}
+		if name == "" {
+			name = s.Workload.Name
+		}
+		stream = s.Workload.Stream(opt.Seed)
 	}
-	return RunStreamContext(ctx, spec.Name, spec.Stream(opt.Seed), opt)
-}
-
-// RunStream simulates an arbitrary reference stream (e.g. a saved trace
-// file) under the given options; name labels the result.
-func RunStream(name string, stream trace.Stream, opt Options) (Result, error) {
-	return RunStreamContext(context.Background(), name, stream, opt)
-}
-
-// RunStreamContext is RunStream with cancellation (see RunContext).
-func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt Options) (Result, error) {
 	if err := opt.Hier.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -291,47 +367,134 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 			return Result{}, ErrSampledAudit
 		}
 	}
-
-	h := hier.New(opt.Hier)
-	if opt.Events != nil {
-		h.SetEvents(opt.Events)
+	eng, err := resolveEngine(s.Engine, opt)
+	if err != nil {
+		return Result{}, err
 	}
 
-	var vc *victim.Cache
-	if opt.VictimFilter != VictimOff {
-		entries := opt.VictimEntries
-		if entries == 0 {
-			entries = 32
-		}
-		var filter victim.Filter
-		switch opt.VictimFilter {
-		case VictimNone:
-			filter = victim.NoFilter{}
-		case VictimCollins:
-			filter = victim.NewCollinsFilter(h.L1().NumFrames())
-		case VictimDecay:
-			if opt.VictimDecayThreshold > 0 {
-				filter = victim.NewDecayFilterThreshold(opt.VictimDecayThreshold)
-			} else {
-				filter = victim.NewDecayFilter()
-			}
-		case VictimAdaptive:
-			filter = victim.NewAdaptiveFilter(entries, 0)
-		case VictimReload:
-			filter = victim.NewReloadFilter(0)
-		default:
-			return Result{}, fmt.Errorf("sim: unknown victim filter %q", opt.VictimFilter)
-		}
-		vc = victim.New(entries, filter)
-		if opt.Events != nil {
-			vc.SetEvents(opt.Events)
-		}
-		h.AttachVictim(vc)
+	var res Result
+	if eng == EngineFast {
+		res, err = runFast(ctx, name, stream, opt)
+	} else {
+		res, err = runReference(ctx, name, stream, opt)
 	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Engine = eng
+	return res, nil
+}
 
-	var tk *prefetch.Timekeeping
-	var dbcp *prefetch.DBCP
-	var nl *prefetch.NextLine
+// fastEligible reports whether the fast engine can honour opt; when it
+// cannot, reason names the first blocking option.
+func fastEligible(opt Options) (ok bool, reason string) {
+	switch {
+	case opt.Sampling != nil:
+		return false, "sampling drives the reference model through functional warming"
+	case opt.Audit:
+		return false, "audit hooks the lockstep oracle into the reference loop"
+	case auditForced():
+		return false, "TK_AUDIT forces lockstep auditing, which needs the reference loop"
+	case opt.Events != nil:
+		return false, "event capture hooks live in the reference loop"
+	}
+	return true, ""
+}
+
+// resolveEngine maps the requested engine to a concrete one, rejecting
+// an explicit EngineFast request the options cannot honour.
+func resolveEngine(e Engine, opt Options) (Engine, error) {
+	switch e {
+	case Engine(""), EngineAuto:
+		if ok, _ := fastEligible(opt); ok {
+			return EngineFast, nil
+		}
+		return EngineReference, nil
+	case EngineReference:
+		return EngineReference, nil
+	case EngineFast:
+		if ok, reason := fastEligible(opt); !ok {
+			return "", fmt.Errorf("sim: engine %q unavailable: %s (use %q or %q)",
+				EngineFast, reason, EngineAuto, EngineReference)
+		}
+		return EngineFast, nil
+	}
+	return "", &UnknownValueError{
+		Kind:  "engine",
+		Value: string(e),
+		Accepted: []string{
+			string(EngineAuto), string(EngineFast), string(EngineReference),
+		},
+	}
+}
+
+// RunContext simulates the benchmark under the given options.
+//
+// Deprecated: use Run with a Spec; this wrapper predates engine
+// selection and is kept for source compatibility.
+func RunContext(ctx context.Context, spec workload.Spec, opt Options) (Result, error) {
+	return Run(ctx, Spec{Workload: spec, Opts: opt})
+}
+
+// RunStream simulates an arbitrary reference stream (e.g. a saved trace
+// file) under the given options; name labels the result.
+//
+// Deprecated: use Run with a Spec carrying Stream and Name.
+func RunStream(name string, stream trace.Stream, opt Options) (Result, error) {
+	return Run(context.Background(), Spec{Name: name, Stream: stream, Opts: opt})
+}
+
+// RunStreamContext is RunStream with cancellation.
+//
+// Deprecated: use Run with a Spec carrying Stream and Name.
+func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt Options) (Result, error) {
+	return Run(ctx, Spec{Name: name, Stream: stream, Opts: opt})
+}
+
+// newVictimCache builds the configured victim cache (nil when off);
+// frames is the L1 frame count (Collins filter sizing).
+func newVictimCache(opt Options, frames int) (*victim.Cache, error) {
+	if opt.VictimFilter == VictimOff {
+		return nil, nil
+	}
+	entries := opt.VictimEntries
+	if entries == 0 {
+		entries = 32
+	}
+	var filter victim.Filter
+	switch opt.VictimFilter {
+	case VictimNone:
+		filter = victim.NoFilter{}
+	case VictimCollins:
+		filter = victim.NewCollinsFilter(frames)
+	case VictimDecay:
+		if opt.VictimDecayThreshold > 0 {
+			filter = victim.NewDecayFilterThreshold(opt.VictimDecayThreshold)
+		} else {
+			filter = victim.NewDecayFilter()
+		}
+	case VictimAdaptive:
+		filter = victim.NewAdaptiveFilter(entries, 0)
+	case VictimReload:
+		filter = victim.NewReloadFilter(0)
+	default:
+		return nil, fmt.Errorf("sim: unknown victim filter %q", opt.VictimFilter)
+	}
+	return victim.New(entries, filter), nil
+}
+
+// prefetchers holds whichever prefetch mechanism a run attached (at most
+// one field is non-nil).
+type prefetchers struct {
+	tk   *prefetch.Timekeeping
+	dbcp *prefetch.DBCP
+	nl   *prefetch.NextLine
+}
+
+// newPrefetchers builds the configured prefetcher against l1 (which is
+// the reference cache.Cache or the engine's SoA mirror).
+func newPrefetchers(opt Options, l1 prefetch.L1View) (prefetchers, error) {
+	var p prefetchers
 	switch opt.Prefetcher {
 	case PrefetchOff:
 	case PrefetchTK:
@@ -343,20 +506,85 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		if ccfg == (core.CorrConfig{}) {
 			ccfg = core.DefaultCorrConfig()
 		}
-		tk = prefetch.NewTimekeeping(pcfg, core.NewCorrTable(ccfg), h.L1())
-		h.AttachPrefetcher(tk)
+		p.tk = prefetch.NewTimekeeping(pcfg, core.NewCorrTable(ccfg), l1)
 	case PrefetchDBCP:
 		entries := opt.DBCPEntries
 		if entries == 0 {
 			entries = prefetch.DBCPEntries
 		}
-		dbcp = prefetch.NewDBCP(prefetch.DefaultConfig(), entries, h.L1())
-		h.AttachPrefetcher(dbcp)
+		p.dbcp = prefetch.NewDBCP(prefetch.DefaultConfig(), entries, l1)
 	case PrefetchNextLine:
-		nl = prefetch.NewNextLine(prefetch.DefaultConfig(), h.L1())
-		h.AttachPrefetcher(nl)
+		p.nl = prefetch.NewNextLine(prefetch.DefaultConfig(), l1)
 	default:
-		return Result{}, fmt.Errorf("sim: unknown prefetcher %q", opt.Prefetcher)
+		return p, fmt.Errorf("sim: unknown prefetcher %q", opt.Prefetcher)
+	}
+	return p, nil
+}
+
+// resetStats clears the attached prefetcher's measurement counters at
+// the warm-up boundary.
+func (p prefetchers) resetStats() {
+	switch {
+	case p.tk != nil:
+		p.tk.ResetStats()
+	case p.dbcp != nil:
+		p.dbcp.ResetStats()
+	case p.nl != nil:
+		p.nl.ResetStats()
+	}
+}
+
+// report copies the attached prefetcher's outputs into res.
+func (p prefetchers) report(res *Result) {
+	switch {
+	case p.tk != nil:
+		tl := p.tk.Timeliness()
+		res.PFTimeliness = &tl
+		res.PFAddrAcc = p.tk.AddressTally().Accuracy()
+		res.PFCoverage = p.tk.Coverage()
+		res.PFIssued = p.tk.Issued()
+	case p.dbcp != nil:
+		tl := p.dbcp.Timeliness()
+		res.PFTimeliness = &tl
+		res.PFIssued = p.dbcp.Issued()
+	case p.nl != nil:
+		tl := p.nl.Timeliness()
+		res.PFTimeliness = &tl
+		res.PFIssued = p.nl.Issued()
+	}
+}
+
+// runReference drives the original cpu.Model + hier.Hierarchy loop. It
+// is the executable specification: every option works here, and the
+// differential gate measures the fast engine against its output.
+func runReference(ctx context.Context, name string, stream trace.Stream, opt Options) (Result, error) {
+	h := hier.New(opt.Hier)
+	if opt.Events != nil {
+		h.SetEvents(opt.Events)
+	}
+
+	vc, err := newVictimCache(opt, h.L1().NumFrames())
+	if err != nil {
+		return Result{}, err
+	}
+	if vc != nil {
+		if opt.Events != nil {
+			vc.SetEvents(opt.Events)
+		}
+		h.AttachVictim(vc)
+	}
+
+	pfs, err := newPrefetchers(opt, h.L1())
+	if err != nil {
+		return Result{}, err
+	}
+	switch {
+	case pfs.tk != nil:
+		h.AttachPrefetcher(pfs.tk)
+	case pfs.dbcp != nil:
+		h.AttachPrefetcher(pfs.dbcp)
+	case pfs.nl != nil:
+		h.AttachPrefetcher(pfs.nl)
 	}
 
 	var tracker *core.Tracker
@@ -459,15 +687,7 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		if vc != nil {
 			vc.ResetStats()
 		}
-		if tk != nil {
-			tk.ResetStats()
-		}
-		if dbcp != nil {
-			dbcp.ResetStats()
-		}
-		if nl != nil {
-			nl.ResetStats()
-		}
+		pfs.resetStats()
 		if tracker != nil {
 			tracker.Reset()
 		}
@@ -511,23 +731,7 @@ func RunStreamContext(ctx context.Context, name string, stream trace.Stream, opt
 		}
 		res.Audit = aud.Summary()
 	}
-	if tk != nil {
-		tl := tk.Timeliness()
-		res.PFTimeliness = &tl
-		res.PFAddrAcc = tk.AddressTally().Accuracy()
-		res.PFCoverage = tk.Coverage()
-		res.PFIssued = tk.Issued()
-	}
-	if dbcp != nil {
-		tl := dbcp.Timeliness()
-		res.PFTimeliness = &tl
-		res.PFIssued = dbcp.Issued()
-	}
-	if nl != nil {
-		tl := nl.Timeliness()
-		res.PFTimeliness = &tl
-		res.PFIssued = nl.Issued()
-	}
+	pfs.report(&res)
 	return res, nil
 }
 
@@ -551,9 +755,9 @@ func runPhase(ctx context.Context, m *cpu.Model, stream trace.Stream, n uint64) 
 	return m.RunContext(ctx, stream, n)
 }
 
-// MustRun is Run for known-good options; it panics on error.
+// MustRun is Run for known-good workload+options; it panics on error.
 func MustRun(spec workload.Spec, opt Options) Result {
-	r, err := Run(spec, opt)
+	r, err := Run(context.Background(), Spec{Workload: spec, Opts: opt})
 	if err != nil {
 		panic(err)
 	}

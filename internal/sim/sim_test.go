@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"timekeeping/internal/trace"
@@ -17,7 +18,7 @@ func quick() Options {
 }
 
 func TestBaselineRunProducesIPC(t *testing.T) {
-	res, err := Run(workload.MustProfile("eon"), quick())
+	res, err := Run(context.Background(), Spec{Workload: workload.MustProfile("eon"), Opts: quick()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,20 +151,20 @@ func TestVictimFillPerCycle(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	o := quick()
 	o.MeasureRefs = 0
-	if _, err := Run(workload.MustProfile("eon"), o); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: workload.MustProfile("eon"), Opts: o}); err == nil {
 		t.Fatal("zero measure refs accepted")
 	}
 	o = quick()
 	o.VictimFilter = "bogus"
-	if _, err := Run(workload.MustProfile("eon"), o); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: workload.MustProfile("eon"), Opts: o}); err == nil {
 		t.Fatal("bogus filter accepted")
 	}
 	o = quick()
 	o.Prefetcher = "bogus"
-	if _, err := Run(workload.MustProfile("eon"), o); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: workload.MustProfile("eon"), Opts: o}); err == nil {
 		t.Fatal("bogus prefetcher accepted")
 	}
-	if _, err := Run(workload.Spec{}, quick()); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: workload.Spec{}, Opts: quick()}); err == nil {
 		t.Fatal("empty spec accepted")
 	}
 }
@@ -234,7 +235,7 @@ func TestTraceRoundTripMatchesDirectRun(t *testing.T) {
 	// Saving a workload to the binary trace format and replaying it must
 	// produce bit-identical simulation results.
 	spec := workload.MustProfile("ammp")
-	direct, err := Run(spec, quick())
+	direct, err := Run(context.Background(), Spec{Workload: spec, Opts: quick()})
 	if err != nil {
 		t.Fatal(err)
 	}

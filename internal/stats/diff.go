@@ -1,7 +1,5 @@
 package stats
 
-import "math"
-
 // DiffHist records signed differences in power-of-two buckets around zero,
 // matching the paper's live-time variability plot (Figure 15, top): one
 // central bucket for |d| < MinAbs, then buckets [MinAbs, 2*MinAbs),
@@ -43,7 +41,7 @@ func (d *DiffHist) bucket(diff int64) int {
 	if uint64(abs) < d.MinAbs {
 		return d.Span
 	}
-	k := int(math.Floor(math.Log2(float64(uint64(abs))/float64(d.MinAbs)))) + 1
+	k := log2Floor(uint64(abs), d.MinAbs) + 1
 	if k > d.Span {
 		k = d.Span
 	}

@@ -40,7 +40,18 @@ func NewHist(width uint64, buckets int) *Hist {
 
 // Add records one sample.
 func (h *Hist) Add(v uint64) {
-	i := int(v / h.Width)
+	// Division by a constant strength-reduces to a multiply; the two
+	// widths the simulator uses (core.ShortBucket, core.LongBucket) get
+	// dedicated cases so the hot path avoids a hardware divide.
+	var i int
+	switch h.Width {
+	case 100:
+		i = int(v / 100)
+	case 1000:
+		i = int(v / 1000)
+	default:
+		i = int(v / h.Width)
+	}
 	if i >= h.Buckets {
 		i = h.Buckets
 	}
@@ -181,7 +192,7 @@ func (r *RatioHist) Add(cur, prev uint64) {
 	case cur == 0:
 		k = -r.Span
 	default:
-		k = int(math.Floor(math.Log2(float64(cur) / float64(prev))))
+		k = log2Floor(cur, prev)
 	}
 	if k < -r.Span {
 		k = -r.Span

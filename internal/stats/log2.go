@@ -1,0 +1,22 @@
+package stats
+
+import "math/bits"
+
+// log2Floor returns floor(log2(a/b)) for a, b > 0, computed exactly in
+// integer arithmetic: floor(log2(a/b)) = k iff b·2^k <= a < b·2^(k+1).
+// The bit-length difference brackets k to two candidates and a single
+// shift-and-compare picks one, with no float division or transcendental
+// rounding on the histogram hot path.
+func log2Floor(a, b uint64) int {
+	k := bits.Len64(a) - bits.Len64(b)
+	if k >= 0 {
+		if a>>uint(k) >= b {
+			return k
+		}
+		return k - 1
+	}
+	if a<<uint(-k) >= b {
+		return k
+	}
+	return k - 1
+}

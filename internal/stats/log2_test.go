@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLog2FloorMatchesFloat cross-checks the integer floor(log2(a/b))
+// against the float formulation it replaced, over boundary-heavy operand
+// pairs: exact powers of two, one-off neighbours, and mixed magnitudes
+// up to 2^48 (well past any simulated time the histograms see).
+func TestLog2FloorMatchesFloat(t *testing.T) {
+	var vals []uint64
+	for e := uint(0); e <= 48; e += 4 {
+		p := uint64(1) << e
+		vals = append(vals, p)
+		if p > 1 {
+			vals = append(vals, p-1, p+1)
+		}
+		vals = append(vals, p*3)
+	}
+	vals = append(vals, 7, 13, 100, 999, 12345, 1_000_003)
+
+	for _, a := range vals {
+		for _, b := range vals {
+			got := log2Floor(a, b)
+			want := int(math.Floor(math.Log2(float64(a) / float64(b))))
+			if got != want {
+				t.Fatalf("log2Floor(%d, %d) = %d, float formulation gives %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestLog2FloorExactBrackets checks the defining inequality directly:
+// b·2^k <= a < b·2^(k+1), including negative k.
+func TestLog2FloorExactBrackets(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want int
+	}{
+		{1, 1, 0},
+		{2, 1, 1},
+		{3, 2, 0},
+		{4, 2, 1},
+		{1, 2, -1},
+		{1, 3, -2}, // 1/3 in [2^-2, 2^-1)
+		{5, 40, -3},
+		{1 << 40, 1, 40},
+		{1, 1 << 40, -40},
+		{(1 << 40) - 1, 1, 39},
+	}
+	for _, c := range cases {
+		if got := log2Floor(c.a, c.b); got != c.want {
+			t.Errorf("log2Floor(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

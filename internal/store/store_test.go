@@ -40,7 +40,7 @@ var (
 func testResult(t *testing.T) sim.Result {
 	t.Helper()
 	resOnce.Do(func() {
-		resVal, resErr = sim.Run(workload.MustProfile("eon"), testOptions())
+		resVal, resErr = sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("eon"), Opts: testOptions()})
 	})
 	if resErr != nil {
 		t.Fatalf("simulating test result: %v", resErr)
@@ -387,7 +387,7 @@ func TestGetLatencyP99(t *testing.T) {
 
 func BenchmarkStoreGet(b *testing.B) {
 	opt := testOptions()
-	res, err := sim.Run(workload.MustProfile("eon"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("eon"), Opts: opt})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -410,7 +410,7 @@ func BenchmarkStoreGet(b *testing.B) {
 
 func BenchmarkStorePut(b *testing.B) {
 	opt := testOptions()
-	res, err := sim.Run(workload.MustProfile("eon"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("eon"), Opts: opt})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -441,7 +441,7 @@ func BenchmarkStoreColdRun(b *testing.B) {
 	key := simcache.Key("eon", opt)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(spec, opt)
+		res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: opt})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -456,7 +456,7 @@ func BenchmarkStoreColdRun(b *testing.B) {
 // populated disk tier — no simulation runs.
 func BenchmarkStoreWarmRestart(b *testing.B) {
 	opt := testOptions()
-	res, err := sim.Run(workload.MustProfile("eon"), opt)
+	res, err := sim.Run(context.Background(), sim.Spec{Workload: workload.MustProfile("eon"), Opts: opt})
 	if err != nil {
 		b.Fatal(err)
 	}

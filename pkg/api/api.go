@@ -60,7 +60,13 @@ type SamplingPolicy struct {
 // RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
 // server's base options.
 type RunRequest struct {
-	Bench          string `json:"bench"`
+	Bench string `json:"bench"`
+	// Engine selects the execution engine: "auto" (or empty), "fast", or
+	// "reference". The engines are proven result-identical, so the choice
+	// does not change the result-cache key; "fast" is rejected
+	// (bad_request) when the request needs instrumentation only the
+	// reference loop carries (sampling, event capture, audit).
+	Engine         string `json:"engine,omitempty"`
 	Victim         string `json:"victim,omitempty"`
 	VictimEntries  int    `json:"victim_entries,omitempty"`
 	Prefetch       string `json:"prefetch,omitempty"`
@@ -106,7 +112,52 @@ type ExperimentRequest struct {
 	// Sampling runs the whole sweep in statistical sampling mode (see
 	// RunRequest.Sampling).
 	Sampling *SamplingPolicy `json:"sampling,omitempty"`
-	Async    bool            `json:"async,omitempty"`
+	// Engine selects the execution engine for every run in the sweep
+	// (see RunRequest.Engine).
+	Engine string `json:"engine,omitempty"`
+	Async  bool   `json:"async,omitempty"`
+}
+
+// ExperimentInfo names one regenerable paper experiment or ablation.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// ClusterView describes the serving fleet, from the answering node's
+// perspective.
+type ClusterView struct {
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
+}
+
+// Capabilities is the body of GET /v1/capabilities: the single source of
+// truth for what this server (or, via caps.Local, this binary) can be
+// asked for — accepted enum values for run requests, the benchmark suite,
+// the experiment catalogue, and which optional service features are
+// switched on.
+type Capabilities struct {
+	// Engines lists accepted RunRequest.Engine values ("auto" first).
+	Engines []string `json:"engines"`
+	// Benches is the workload suite (accepted RunRequest.Bench values).
+	Benches []string `json:"benches"`
+	// VictimFilters and Prefetchers list the accepted mechanism names
+	// (the empty string — mechanism off — is always accepted and not
+	// listed).
+	VictimFilters []string `json:"victim_filters"`
+	Prefetchers   []string `json:"prefetchers"`
+	// Experiments lists every regenerable figure/table/ablation.
+	Experiments []ExperimentInfo `json:"experiments"`
+	// Sampling reports whether RunRequest.Sampling is honoured.
+	Sampling bool `json:"sampling"`
+	// Events reports whether the server captures generation-event traces
+	// (Config.Events).
+	Events bool `json:"events"`
+	// Store reports whether a durable disk tier backs the result cache.
+	Store bool `json:"store"`
+	// Cluster is present when the server shards work across a peer
+	// fleet.
+	Cluster *ClusterView `json:"cluster,omitempty"`
 }
 
 // JobView is the externally visible snapshot of one queued simulation or
@@ -211,8 +262,12 @@ type EstimateView struct {
 
 // ResultView is everything one run produced over its measurement window.
 type ResultView struct {
-	Bench string  `json:"bench"`
-	IPC   float64 `json:"ipc"`
+	Bench string `json:"bench"`
+	// Engine records which execution engine produced the result; empty
+	// when the result was answered from the durable store (stored
+	// results are engine-neutral — the engines are proven identical).
+	Engine string  `json:"engine,omitempty"`
+	IPC    float64 `json:"ipc"`
 
 	Insts  uint64 `json:"insts"`
 	Cycles uint64 `json:"cycles"`

@@ -120,6 +120,18 @@ func (c *Client) Experiment(ctx context.Context, id string, req ExperimentReques
 	return &j, nil
 }
 
+// Capabilities fetches the server's capability inventory: accepted enum
+// values for run requests, the benchmark and experiment catalogues, and
+// which optional service features (sampling, events, store, cluster) are
+// available.
+func (c *Client) Capabilities(ctx context.Context) (*Capabilities, error) {
+	var caps Capabilities
+	if err := c.do(ctx, http.MethodGet, "/v1/capabilities", nil, &caps); err != nil {
+		return nil, err
+	}
+	return &caps, nil
+}
+
 // Jobs lists every job in submission order.
 func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
 	var out []JobView
