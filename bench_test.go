@@ -185,6 +185,39 @@ func BenchmarkSampledSpeedup(b *testing.B) {
 	})
 }
 
+// sampledParallelOptions is the BenchmarkSampledParallel* shape: a
+// segment-parallel sampled run whose 16 one-window segments are dominated
+// by per-segment warming — the work profile the worker pool accelerates.
+// Compare the sub-benchmarks' ns/op across worker counts.
+func sampledParallelOptions(par int) sim.Options {
+	opt := sim.Default()
+	opt.Track = true
+	opt.WarmupRefs = 60_000
+	opt.MeasureRefs = 16 * 33_000
+	pol := sample.DefaultPolicy()
+	pol.SegmentWindows = 1
+	pol.Parallelism = par
+	opt.Sampling = pol
+	return opt
+}
+
+func benchmarkSampledParallel(b *testing.B, par int) {
+	spec := workload.MustProfile("mcf")
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(context.Background(), sim.Spec{Workload: spec, Opts: sampledParallelOptions(par)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Estimate == nil || res.Estimate.Windows < 2 {
+			b.Fatalf("not sampled: %+v", res.Estimate)
+		}
+	}
+}
+
+func BenchmarkSampledParallel1(b *testing.B) { benchmarkSampledParallel(b, 1) }
+func BenchmarkSampledParallel2(b *testing.B) { benchmarkSampledParallel(b, 2) }
+func BenchmarkSampledParallel8(b *testing.B) { benchmarkSampledParallel(b, 8) }
+
 func BenchmarkAblateTableSize(b *testing.B)    { runExperiment(b, "ablate-table") }
 func BenchmarkAblateIndexSplit(b *testing.B)   { runExperiment(b, "ablate-mn") }
 func BenchmarkAblateVictimFilter(b *testing.B) { runExperiment(b, "ablate-victim") }

@@ -46,6 +46,8 @@ func main() {
 		progress = flag.Bool("progress", true, "print a live sweep progress line on stderr")
 		smp      = flag.Bool("sample", false, "run the sweep in statistical sampling mode (faster, estimates with CIs)")
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: per-run target relative CI half-width (e.g. 0.02)")
+		smpPar   = flag.Int("sample-parallel", 0, "with -sample: worker pool size for the segment-parallel schedule (0 = sequential classic schedule)")
+		smpSeg   = flag.Int("sample-segments", 0, "with -sample: windows per independently warmed segment (0 = 4 when -sample-parallel is set)")
 		evOut    = flag.String("events-out", "", "capture per-experiment-point run spans (and generation events) and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
 		evCap    = flag.Int("events-cap", 0, "with -events-out: event ring capacity (0 = 65536)")
 		cacheDir = flag.String("cache-dir", "", "durable result cache directory: runs repeated across invocations are answered from disk")
@@ -109,9 +111,18 @@ func main() {
 	if *seed > 0 {
 		runner.Opts.Seed = *seed
 	}
-	if *smp || *smpCI > 0 {
+	if *smp || *smpCI > 0 || *smpPar > 0 || *smpSeg > 0 {
 		pol := sample.DefaultPolicy()
 		pol.TargetRelCI = *smpCI
+		pol.SegmentWindows = *smpSeg
+		pol.Parallelism = *smpPar
+		if pol.Parallelism > 1 && pol.SegmentWindows == 0 {
+			pol.SegmentWindows = 4
+		}
+		if err := pol.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		runner.Sampling = pol
 	}
 	var sink *events.Sink

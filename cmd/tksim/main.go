@@ -59,6 +59,8 @@ func main() {
 		dropSWPF = flag.Bool("drop-swprefetch", false, "ignore compiler software prefetches")
 		smp      = flag.Bool("sample", false, "statistical sampling: alternate functional warming with detailed windows, report 95% CIs")
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: keep sampling until the IPC estimate's relative CI half-width is at most this (e.g. 0.02)")
+		smpPar   = flag.Int("sample-parallel", 0, "with -sample: worker pool size for the segment-parallel schedule (0 = sequential classic schedule)")
+		smpSeg   = flag.Int("sample-segments", 0, "with -sample: windows per independently warmed segment (0 = 4 when -sample-parallel is set)")
 		evOut    = flag.String("events-out", "", "capture generation events and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
 		evSets   = flag.String("events-sets", "", "restrict event capture to these L1 sets, e.g. 0:3 or 5,9,12 (default: all)")
 		evKinds  = flag.String("events-kinds", "", "restrict event capture to these kinds, e.g. fill,hit,evict (default: all)")
@@ -107,9 +109,18 @@ func main() {
 	if *seed > 0 {
 		opt.Seed = *seed
 	}
-	if *smp || *smpCI > 0 {
+	if *smp || *smpCI > 0 || *smpPar > 0 || *smpSeg > 0 {
 		pol := sample.DefaultPolicy()
 		pol.TargetRelCI = *smpCI
+		pol.SegmentWindows = *smpSeg
+		pol.Parallelism = *smpPar
+		if pol.Parallelism > 1 && pol.SegmentWindows == 0 {
+			pol.SegmentWindows = 4
+		}
+		if err := pol.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		opt.Sampling = pol
 	}
 
@@ -155,8 +166,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, rerr)
 			os.Exit(1)
 		}
-		res, err = sim.Run(context.Background(),
-			sim.Spec{Name: *traceIn, Stream: rd, Opts: opt, Engine: eng})
+		spec := sim.Spec{Name: *traceIn, Stream: rd, Opts: opt, Engine: eng}
+		if opt.Sampling != nil && opt.Sampling.SegmentWindows > 0 {
+			// Segment workers each replay the trace independently from their
+			// own fork offset: load it once and serve fresh SliceStreams over
+			// the shared reference slice.
+			var refs []trace.Ref
+			var r trace.Ref
+			for rd.Next(&r) {
+				refs = append(refs, r)
+			}
+			if rd.Err() != nil {
+				fmt.Fprintln(os.Stderr, rd.Err())
+				os.Exit(1)
+			}
+			spec.Stream = &trace.SliceStream{Refs: refs}
+			spec.StreamFactory = func() (trace.Stream, error) {
+				return &trace.SliceStream{Refs: refs}, nil
+			}
+		}
+		res, err = sim.Run(context.Background(), spec)
 		if err == nil && rd.Err() != nil {
 			err = rd.Err()
 		}

@@ -1,0 +1,47 @@
+package classify
+
+import (
+	"testing"
+
+	"timekeeping/internal/rng"
+)
+
+// TestClassifierCloneEquivalence: clone mid-run, then drive both copies
+// through the same access suffix — every Hill classification must match,
+// since the clone carries both the seen-set and the exact LRU order.
+func TestClassifierCloneEquivalence(t *testing.T) {
+	c := New(64)
+	r := rng.New(11)
+	for i := 0; i < 1000; i++ {
+		c.Access(r.Uint64n(256))
+	}
+	d := c.Clone()
+	if c.Len() != d.Len() {
+		t.Fatalf("clone len %d != original %d", d.Len(), c.Len())
+	}
+
+	r2 := rng.New(23)
+	for i := 0; i < 2000; i++ {
+		b := r2.Uint64n(256)
+		ko, kc := c.Access(b), d.Access(b)
+		if ko != kc {
+			t.Fatalf("access %d (block %d): original %v, clone %v", i, b, ko, kc)
+		}
+	}
+}
+
+// TestClassifierCloneIsolated: post-clone accesses must not perturb the
+// other copy's LRU state.
+func TestClassifierCloneIsolated(t *testing.T) {
+	c := New(2)
+	c.Access(1)
+	c.Access(2)
+	d := c.Clone()
+	d.Access(3) // evicts 1 from the clone's FA model only
+	if !c.Contains(1) {
+		t.Fatal("clone access evicted block 1 from the original")
+	}
+	if d.Contains(1) {
+		t.Fatal("clone kept block 1 past its eviction")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"timekeeping/internal/classify"
+	"timekeeping/internal/rng"
+)
+
+// eventFeed drives a tracker with a deterministic pseudo-random but
+// physically consistent event sequence: hits reference the block resident
+// in the frame, misses evict it.
+type eventFeed struct {
+	r        *rng.Source
+	resident []uint64
+	now      uint64
+}
+
+func newEventFeed(seed uint64, frames int) *eventFeed {
+	return &eventFeed{r: rng.New(seed), resident: make([]uint64, frames)}
+}
+
+var feedKinds = []classify.MissKind{classify.Cold, classify.Conflict, classify.Capacity}
+
+// step emits one event into each tracker (the same event, so their state
+// must stay identical).
+func (f *eventFeed) step(ts ...*Tracker) {
+	f.now += 16 + f.r.Uint64n(400)
+	frame := f.r.Intn(len(f.resident))
+	if res := f.resident[frame]; res != 0 && f.r.Bool(0.6) {
+		for _, t := range ts {
+			t.OnAccess(hitEvent(f.now, res, frame))
+		}
+		return
+	}
+	block := (1 + f.r.Uint64n(512)) << 8
+	victim := f.resident[frame]
+	kind := feedKinds[f.r.Intn(len(feedKinds))]
+	for _, t := range ts {
+		t.OnAccess(missEvent(f.now, block, frame, kind, victim, victim != 0))
+	}
+	f.resident[frame] = block
+}
+
+// TestTrackerCloneEquivalence is the clone contract the segment-parallel
+// sampler relies on: clone mid-run, advance original and clone through the
+// same event suffix independently, and the full metrics state — histograms,
+// per-kind maps, predictor tallies — must be identical.
+func TestTrackerCloneEquivalence(t *testing.T) {
+	tr := NewTracker(8)
+	f := newEventFeed(3, 8)
+	for i := 0; i < 3000; i++ {
+		f.step(tr)
+	}
+	cl := tr.Clone()
+	for i := 0; i < 3000; i++ {
+		f.step(tr, cl)
+	}
+	if !reflect.DeepEqual(tr.Metrics(), cl.Metrics()) {
+		t.Fatalf("metrics diverged:\noriginal %+v\nclone %+v", tr.Metrics(), cl.Metrics())
+	}
+	if tr.Metrics().Generations == 0 {
+		t.Fatal("feed produced no generations")
+	}
+}
+
+// TestTrackerCloneRecordingIndependent: the quiet flag is part of the
+// cloned state, but flipping it afterwards affects only one copy.
+func TestTrackerCloneRecordingIndependent(t *testing.T) {
+	tr := NewTracker(4)
+	f := newEventFeed(5, 4)
+	for i := 0; i < 500; i++ {
+		f.step(tr)
+	}
+	cl := tr.Clone()
+	cl.SetRecording(false)
+	for i := 0; i < 500; i++ {
+		f.step(tr, cl)
+	}
+	if tr.Metrics().Generations <= cl.Metrics().Generations {
+		t.Fatalf("quiet clone recorded as much as the original: %d vs %d",
+			cl.Metrics().Generations, tr.Metrics().Generations)
+	}
+}
+
+// TestTrackerCloneIsolated: post-clone events to one copy leave the other
+// untouched.
+func TestTrackerCloneIsolated(t *testing.T) {
+	tr := NewTracker(4)
+	f := newEventFeed(9, 4)
+	for i := 0; i < 500; i++ {
+		f.step(tr)
+	}
+	cl := tr.Clone()
+	before := tr.Metrics().Generations
+	for i := 0; i < 500; i++ {
+		f.step(cl)
+	}
+	if tr.Metrics().Generations != before {
+		t.Fatal("clone events changed the original's metrics")
+	}
+}
+
+// TestFastTrackerCloneEquivalence mirrors the Tracker contract for the
+// fast engine's open-addressed variant.
+func TestFastTrackerCloneEquivalence(t *testing.T) {
+	tr := NewFastTracker(8)
+	resident := make([]uint64, 8)
+	r := rng.New(17)
+	var now uint64
+	step := func(ts ...*FastTracker) {
+		now += 16 + r.Uint64n(400)
+		frame := r.Intn(len(resident))
+		if res := resident[frame]; res != 0 && r.Bool(0.6) {
+			for _, t := range ts {
+				t.Observe(frame, now, res, true, classify.Hit, false)
+			}
+			return
+		}
+		block := (1 + r.Uint64n(512)) << 8
+		kind := feedKinds[r.Intn(len(feedKinds))]
+		for _, t := range ts {
+			t.Observe(frame, now, block, false, kind, resident[frame] != 0)
+		}
+		resident[frame] = block
+	}
+
+	for i := 0; i < 3000; i++ {
+		step(tr)
+	}
+	cl := tr.Clone()
+	for i := 0; i < 3000; i++ {
+		step(tr, cl)
+	}
+	if !reflect.DeepEqual(tr.Metrics(), cl.Metrics()) {
+		t.Fatalf("metrics diverged:\noriginal %+v\nclone %+v", tr.Metrics(), cl.Metrics())
+	}
+	if tr.Metrics().Generations == 0 {
+		t.Fatal("feed produced no generations")
+	}
+}

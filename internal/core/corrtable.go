@@ -199,5 +199,16 @@ func (t *CorrTable) HitRate() float64 {
 	return float64(t.hits) / float64(t.lookups)
 }
 
+// Stats returns the raw lookup and hit counts, so disjoint runs can pool
+// coverage as Σhits/Σlookups instead of averaging rates.
+func (t *CorrTable) Stats() (lookups, hits uint64) { return t.lookups, t.hits }
+
+// MergeStats folds another table's lookup counters into t (contents are
+// untouched), so pooled HitRate reflects the union of disjoint runs.
+func (t *CorrTable) MergeStats(o *CorrTable) {
+	t.lookups += o.lookups
+	t.hits += o.hits
+}
+
 // ResetStats clears the lookup counters (contents preserved).
 func (t *CorrTable) ResetStats() { t.lookups, t.hits = 0, 0 }

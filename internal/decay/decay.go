@@ -38,6 +38,11 @@ type Sim struct {
 	firstNow uint64
 	started  bool
 	events   *events.Sink
+
+	// extraSpan holds the observed spans folded in from merged Sims
+	// (disjoint simulated stretches), so pooled OffFraction is computed
+	// over the union of their line-cycles.
+	extraSpan uint64
 }
 
 // SetEvents attaches the generation-event sink (nil detaches): one Decay
@@ -117,6 +122,34 @@ func (s *Sim) OnAccess(ev *hier.AccessEvent) {
 	f.valid = true
 }
 
+// span returns the observed cycle span of this Sim's own access stream.
+func (s *Sim) span() uint64 {
+	if s.started && s.lastNow > s.firstNow {
+		return s.lastNow - s.firstNow
+	}
+	return 0
+}
+
+// Merge folds another evaluation of the same interval set into s: tallies,
+// access counts and observed spans add, so pooled Results cover the union
+// of disjoint simulated stretches (segment-parallel sampling). It panics
+// on mismatched interval sets or frame counts.
+func (s *Sim) Merge(o *Sim) {
+	if len(o.intervals) != len(s.intervals) || len(o.frames) != len(s.frames) {
+		panic("decay: merging mismatched Sims")
+	}
+	for i := range s.intervals {
+		if s.intervals[i] != o.intervals[i] {
+			panic("decay: merging mismatched interval sets")
+		}
+		s.tallies[i].offCycles += o.tallies[i].offCycles
+		s.tallies[i].extraMisses += o.tallies[i].extraMisses
+		s.tallies[i].idlePeriods += o.tallies[i].idlePeriods
+	}
+	s.accesses += o.accesses
+	s.extraSpan += o.span() + o.extraSpan
+}
+
 // Result summarises one interval's outcome.
 type Result struct {
 	Interval uint64
@@ -131,11 +164,7 @@ type Result struct {
 
 // Results returns one Result per interval, in configuration order.
 func (s *Sim) Results() []Result {
-	span := uint64(0)
-	if s.started && s.lastNow > s.firstNow {
-		span = s.lastNow - s.firstNow
-	}
-	totalLineCycles := span * uint64(len(s.frames))
+	totalLineCycles := (s.span() + s.extraSpan) * uint64(len(s.frames))
 	out := make([]Result, len(s.intervals))
 	for i, iv := range s.intervals {
 		r := Result{Interval: iv, ExtraMisses: s.tallies[i].extraMisses}

@@ -188,3 +188,7 @@ func (p *DBCP) Issued() uint64 { return p.eng.issued }
 
 // ResetStats clears tallies (training state preserved).
 func (p *DBCP) ResetStats() { p.eng.resetStats() }
+
+// MergeStats folds another instance's tallies into p (pooling disjoint
+// runs); training state on both sides is untouched.
+func (p *DBCP) MergeStats(o *DBCP) { p.eng.mergeStats(o.eng) }

@@ -76,6 +76,14 @@ func (t *Timeliness) CorrectTotal() uint64 { return sum(t.Correct) }
 // WrongTotal returns the number of wrong-address prefetches classified.
 func (t *Timeliness) WrongTotal() uint64 { return sum(t.Wrong) }
 
+// Merge adds another tally's counts into t (pooling across disjoint runs).
+func (t *Timeliness) Merge(o Timeliness) {
+	for c := range t.Correct {
+		t.Correct[c] += o.Correct[c]
+		t.Wrong[c] += o.Wrong[c]
+	}
+}
+
 // Frac returns class c's share within the correct or wrong population.
 func (t *Timeliness) Frac(correct bool, c TimelinessClass) float64 {
 	var arr [numClasses]uint64
@@ -334,4 +342,15 @@ func (e *engine) resetStats() {
 	e.timeliness = Timeliness{}
 	e.addr = stats.BinaryPredictionTally{}
 	e.scheduled, e.issued = 0, 0
+}
+
+// mergeStats folds another engine's tallies into e (pooling across
+// disjoint runs); live records are untouched.
+func (e *engine) mergeStats(o *engine) {
+	e.timeliness.Merge(o.timeliness)
+	e.addr.Predictions += o.addr.Predictions
+	e.addr.Correct += o.addr.Correct
+	e.addr.Events += o.addr.Events
+	e.scheduled += o.scheduled
+	e.issued += o.issued
 }

@@ -101,3 +101,7 @@ func (p *NextLine) Issued() uint64 { return p.eng.issued }
 
 // ResetStats clears tallies.
 func (p *NextLine) ResetStats() { p.eng.resetStats() }
+
+// MergeStats folds another instance's tallies into p (pooling disjoint
+// runs); training state on both sides is untouched.
+func (p *NextLine) MergeStats(o *NextLine) { p.eng.mergeStats(o.eng) }

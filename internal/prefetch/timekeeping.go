@@ -242,3 +242,10 @@ func (p *Timekeeping) ResetStats() {
 	p.eng.resetStats()
 	p.table.ResetStats()
 }
+
+// MergeStats folds another instance's tallies into p (pooling disjoint
+// runs); training state on both sides is untouched.
+func (p *Timekeeping) MergeStats(o *Timekeeping) {
+	p.eng.mergeStats(o.eng)
+	p.table.MergeStats(o.table)
+}

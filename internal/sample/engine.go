@@ -48,8 +48,39 @@ type Config struct {
 	// Events, when non-nil, receives run-level spans — one per
 	// functional-warming stretch and one per detailed window — so the
 	// sampling schedule is visible on the same trace as the generation
-	// events. Nil is a valid no-op.
+	// events. Nil is a valid no-op. The segment-parallel schedule ignores
+	// the sink: events.Sink is not safe for concurrent emitters.
 	Events *events.Sink
+
+	// SegmentStream returns an independent reference stream positioned
+	// `offset` references past the run's origin (after any stream-level
+	// filtering such as DropSWPrefetch). Required when
+	// Policy.SegmentWindows > 0; each call must yield a stream that
+	// reproduces the original sequence from that offset. A stream shorter
+	// than the offset should return an empty stream, not an error.
+	SegmentStream func(offset uint64) (trace.Stream, error)
+
+	// NewInstance assembles the isolated simulation instance segment seg
+	// executes on — typically clones of a cold prototype with fresh
+	// mechanism attachments. Required when Policy.SegmentWindows > 0; it
+	// is called at most once per segment and may be called concurrently
+	// from worker goroutines.
+	NewInstance func(seg int) (Instance, error)
+
+	// testSegmentDone, when set (tests only), is invoked by the executing
+	// worker just before a segment's result is published — the injection
+	// point the permutation test uses to force adversarial completion
+	// orders.
+	testSegmentDone func(seg int)
+}
+
+// Instance is one isolated simulation instance the segment-parallel
+// scheduler replays a segment on: a CPU bound to its own hierarchy, plus
+// the Warmables whose recording brackets that segment's windows.
+type Instance struct {
+	CPU       *cpu.Model
+	Hier      *hier.Hierarchy
+	Warmables []Warmable
 }
 
 // Outcome is a sampled run's aggregate: the statistical estimate plus the
@@ -59,14 +90,35 @@ type Outcome struct {
 	Estimate Estimate
 	CPU      cpu.Result
 	Hier     hier.Stats
+	// TotalRefs is every reference the schedule consumed — warm-up,
+	// warming spans, detailed prefixes and windows. In the segmented
+	// schedule it sums over all segment instances (per-segment re-warming
+	// included), so it is the authoritative work count for the run.
+	TotalRefs uint64
 }
 
 // Run executes the alternating warm/measure schedule: an initial
 // functional warm-up, then up to maxWindows repetitions of [detailed
 // window, warming span]. It returns the estimate with CLT-based 95%
 // confidence intervals over the per-window samples.
+//
+// When Policy.SegmentWindows > 0 the segment-parallel schedule runs
+// instead (see runSegmented): the window sequence is split into
+// independently warmed segments executed across Policy.Parallelism
+// workers, with results pooled in fixed window order.
 func Run(ctx context.Context, cfg Config) (Outcome, error) {
 	pol := cfg.Policy.withDefaults()
+	if pol.SegmentWindows > 0 {
+		return runSegmented(ctx, cfg, pol)
+	}
+	out, err := runClassic(ctx, cfg, pol)
+	out.TotalRefs = cfg.CPU.Snapshot().Refs
+	return out, err
+}
+
+// runClassic is the single-timeline schedule: one instance carries warm
+// state across the whole run.
+func runClassic(ctx context.Context, cfg Config, pol Policy) (Outcome, error) {
 	period := pol.DetailedWarmRefs + pol.DetailedRefs + pol.WarmRefs
 
 	budget := int(cfg.MeasureRefs / period)

@@ -28,7 +28,16 @@ var (
 	ctrWindows      = obs.Default.Counter("sim_sample_windows_total")
 	ctrWarmRefs     = obs.Default.Counter("sim_sample_warm_refs_total")
 	ctrDetailedRefs = obs.Default.Counter("sim_sample_detailed_refs_total")
+	// ctrSegments counts independently warmed segments executed by the
+	// segment-parallel scheduler; ctrParallelWindows counts the subset of
+	// measured windows executed by a pool with more than one worker.
+	ctrSegments        = obs.Default.Counter("sim_sample_segments_total")
+	ctrParallelWindows = obs.Default.Counter("sim_sample_parallel_windows_total")
 )
+
+// MaxParallelism bounds Policy.Parallelism: a ceiling on worker-pool size,
+// far above any real core count, so a typo cannot spawn an absurd pool.
+const MaxParallelism = 64
 
 // Policy configures one sampled run. The zero value is invalid; start
 // from DefaultPolicy. Every field changes simulation behaviour and the
@@ -67,6 +76,25 @@ type Policy struct {
 	// windows for the fixed-period policy, 4x that for the target-CI
 	// policy.
 	MaxWindows int `json:"max_windows,omitempty"`
+	// SegmentWindows, when > 0, selects the segment-parallel schedule: the
+	// window sequence is partitioned into contiguous segments of this many
+	// windows, and each segment re-derives the reference stream at its
+	// boundary, functionally re-warms WarmupRefs from there, and replays
+	// its windows on an isolated simulation instance. Windows keep the
+	// exact stream positions of the classic single-timeline schedule, but
+	// each segment's warm state is rebuilt locally instead of carried from
+	// the run's start, so estimates differ slightly — the field marshals,
+	// giving segmented runs their own result-cache identity. Independent
+	// segments are what Parallelism exploits.
+	SegmentWindows int `json:"segment_windows,omitempty"`
+	// Parallelism bounds the worker pool that executes segments (0 or 1 =
+	// sequential; > 1 requires SegmentWindows > 0). The segment schedule
+	// and the pooling order are pure functions of the policy and budget,
+	// never of worker count or completion order, so results are
+	// bit-identical at every parallelism level — the field is therefore
+	// excluded from marshalling and parallel and sequential runs share
+	// result-cache keys.
+	Parallelism int `json:"-"`
 }
 
 // DefaultPolicy returns the standard sampling configuration: 2K-reference
@@ -96,6 +124,18 @@ func (p *Policy) Validate() error {
 	}
 	if p.MaxWindows < 0 {
 		return fmt.Errorf("sample: MaxWindows %d < 0", p.MaxWindows)
+	}
+	if p.SegmentWindows < 0 {
+		return fmt.Errorf("sample: SegmentWindows %d < 0", p.SegmentWindows)
+	}
+	if p.Parallelism < 0 || p.Parallelism > MaxParallelism {
+		return fmt.Errorf("sample: Parallelism %d out of range [0, %d]", p.Parallelism, MaxParallelism)
+	}
+	if p.Parallelism > 1 && p.SegmentWindows == 0 {
+		return fmt.Errorf("sample: Parallelism %d needs SegmentWindows > 0 (the segment-parallel schedule)", p.Parallelism)
+	}
+	if p.TargetRelCI > 0 && p.SegmentWindows > 0 {
+		return fmt.Errorf("sample: TargetRelCI is incompatible with SegmentWindows (early stop would depend on scheduling order)")
 	}
 	return nil
 }

@@ -1,8 +1,12 @@
 package sample
 
 import (
+	"context"
+	"encoding/json"
 	"math"
 	"testing"
+
+	"timekeeping/internal/trace"
 )
 
 func TestSampleDefaultPolicyValid(t *testing.T) {
@@ -29,6 +33,14 @@ func TestSamplePolicyValidate(t *testing.T) {
 		{"negative min windows", func(p *Policy) { p.MinWindows = -1 }, false},
 		{"negative max windows", func(p *Policy) { p.MaxWindows = -1 }, false},
 		{"explicit windows", func(p *Policy) { p.MinWindows = 4; p.MaxWindows = 16 }, true},
+		{"negative segment windows", func(p *Policy) { p.SegmentWindows = -1 }, false},
+		{"segment windows ok", func(p *Policy) { p.SegmentWindows = 8 }, true},
+		{"negative parallelism", func(p *Policy) { p.Parallelism = -1 }, false},
+		{"parallelism above cap", func(p *Policy) { p.Parallelism = MaxParallelism + 1 }, false},
+		{"parallelism at cap", func(p *Policy) { p.SegmentWindows = 4; p.Parallelism = MaxParallelism }, true},
+		{"parallel without segments", func(p *Policy) { p.Parallelism = 4 }, false},
+		{"sequential without segments", func(p *Policy) { p.Parallelism = 1 }, true},
+		{"target ci with segments", func(p *Policy) { p.TargetRelCI = 0.02; p.SegmentWindows = 4 }, false},
 	}
 	for _, tc := range cases {
 		p := DefaultPolicy()
@@ -40,6 +52,127 @@ func TestSamplePolicyValidate(t *testing.T) {
 		if !tc.ok && err == nil {
 			t.Errorf("%s: expected validation error", tc.name)
 		}
+	}
+}
+
+// TestSamplePolicyValidateMessages pins the rejection messages: they name
+// the offending field and the accepted range, so a CLI or API caller can
+// fix the request without reading the source.
+func TestSamplePolicyValidateMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Policy)
+		want string
+	}{
+		{"zero detailed", func(p *Policy) { p.DetailedRefs = 0 }, "sample: DetailedRefs must be > 0"},
+		{"zero warm", func(p *Policy) { p.WarmRefs = 0 }, "sample: WarmRefs must be > 0 (use an exact run instead)"},
+		{"negative min windows", func(p *Policy) { p.MinWindows = -2 }, "sample: MinWindows -2 < 0"},
+		{"negative max windows", func(p *Policy) { p.MaxWindows = -3 }, "sample: MaxWindows -3 < 0"},
+		{"negative segment windows", func(p *Policy) { p.SegmentWindows = -1 }, "sample: SegmentWindows -1 < 0"},
+		{"parallelism out of range", func(p *Policy) { p.Parallelism = 65 }, "sample: Parallelism 65 out of range [0, 64]"},
+		{"negative parallelism", func(p *Policy) { p.Parallelism = -1 }, "sample: Parallelism -1 out of range [0, 64]"},
+		{"parallel without segments", func(p *Policy) { p.Parallelism = 4 },
+			"sample: Parallelism 4 needs SegmentWindows > 0 (the segment-parallel schedule)"},
+		{"target ci with segments", func(p *Policy) { p.TargetRelCI = 0.02; p.SegmentWindows = 4 },
+			"sample: TargetRelCI is incompatible with SegmentWindows (early stop would depend on scheduling order)"},
+	}
+	for _, tc := range cases {
+		p := DefaultPolicy()
+		tc.mut(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("%s: message %q, want %q", tc.name, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestSamplePolicyJSONIdentity pins the caching contract: Parallelism is
+// invisible to marshalling (parallel and sequential runs share cache
+// keys) while SegmentWindows changes the encoding (the segmented schedule
+// is a different experiment).
+func TestSamplePolicyJSONIdentity(t *testing.T) {
+	seq := DefaultPolicy()
+	seq.SegmentWindows = 4
+	par := DefaultPolicy()
+	par.SegmentWindows = 4
+	par.Parallelism = 8
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("Parallelism leaked into the encoding:\n%s\nvs\n%s", a, b)
+	}
+	classic, err := json.Marshal(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(classic) {
+		t.Error("SegmentWindows absent from the encoding: segmented and classic runs would share cache keys")
+	}
+}
+
+// lcgStream is an infinite pseudo-random stream whose windows genuinely
+// vary, so CLT intervals never collapse to a point the way the uniform
+// strideStream's do.
+type lcgStream struct{ state uint64 }
+
+func (s *lcgStream) Next(r *trace.Ref) bool {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	*r = trace.Ref{
+		Addr: (s.state >> 33 % 8192) * 32,
+		PC:   uint32(s.state % 31),
+		Gap:  3,
+		Kind: trace.Load,
+	}
+	return true
+}
+
+// TestSampleTargetCIRespectsMaxWindows: with an unreachable CI target the
+// run stops at the explicit window cap and reports the target unmet.
+func TestSampleTargetCIRespectsMaxWindows(t *testing.T) {
+	cfg := testRig(&lcgStream{state: 1})
+	cfg.Policy.TargetRelCI = 0.000001 // unreachable on a varying stream
+	cfg.Policy.MinWindows = 2
+	cfg.Policy.MaxWindows = 6
+	out, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out.Estimate
+	if e.Windows != 6 {
+		t.Fatalf("windows = %d, want the MaxWindows cap 6", e.Windows)
+	}
+	if e.TargetMet {
+		t.Fatal("unreachable target reported met")
+	}
+}
+
+// TestSampleTargetCIStopsBeforeMaxWindows: a loose target wins over a
+// generous cap — early stop happens at MinWindows, not at the cap.
+func TestSampleTargetCIStopsBeforeMaxWindows(t *testing.T) {
+	cfg := testRig(&strideStream{blocks: 4096})
+	cfg.Policy.TargetRelCI = 0.5
+	cfg.Policy.MinWindows = 2
+	cfg.Policy.MaxWindows = 12
+	out, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out.Estimate
+	if !e.TargetMet {
+		t.Fatalf("loose target unmet after %d windows", e.Windows)
+	}
+	if e.Windows >= 12 {
+		t.Fatalf("windows = %d, want early stop before the cap", e.Windows)
 	}
 }
 

@@ -146,6 +146,8 @@ func TestMetricsNames(t *testing.T) {
 		"sim_sample_windows_total",
 		"sim_sample_warm_refs_total",
 		"sim_sample_detailed_refs_total",
+		"sim_sample_segments_total",
+		"sim_sample_parallel_windows_total",
 		// generation-event tracing (process-wide registry)
 		"sim_events_emitted_total",
 		"sim_events_dropped_total",

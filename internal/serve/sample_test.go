@@ -54,6 +54,8 @@ func TestSampledRunEndpoint(t *testing.T) {
 		"sim_sample_windows_total",
 		"sim_sample_warm_refs_total",
 		"sim_sample_detailed_refs_total",
+		"sim_sample_segments_total",
+		"sim_sample_parallel_windows_total",
 	} {
 		if _, ok := m[name]; !ok {
 			t.Errorf("metric %q missing from /metrics", name)
@@ -83,6 +85,76 @@ func TestSampledRunBadPolicy(t *testing.T) {
 	_, err := cl.Run(context.Background(), bad)
 	if ae := apiError(t, err); ae.Code != api.CodeBadRequest || ae.HTTPStatus != http.StatusBadRequest {
 		t.Fatalf("invalid policy error = %+v", ae)
+	}
+}
+
+// TestSampledRunSegmentParallel: the wire policy's segment-parallel knobs
+// reach the simulator, and parallel requests reuse the sequential entry's
+// cache slot (Parallelism is outside result identity).
+func TestSampledRunSegmentParallel(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	req := sampledRun
+	pol := *sampledRun.Sampling
+	pol.SegmentWindows = 2
+	pol.Parallelism = 4
+	req.Sampling = &pol
+
+	j, err := cl.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("segment-parallel run: %v", err)
+	}
+	if j.Status != api.StatusDone || j.Result == nil || j.Result.Estimate == nil {
+		t.Fatalf("segment-parallel run: %+v", j)
+	}
+	if j.Result.Estimate.Windows < 2 {
+		t.Fatalf("estimate = %+v", j.Result.Estimate)
+	}
+
+	seq := req
+	spol := pol
+	spol.Parallelism = 0
+	seq.Sampling = &spol
+	j2, err := cl.Run(context.Background(), seq)
+	if err != nil {
+		t.Fatalf("sequential segmented run: %v", err)
+	}
+	if j2.Cache != api.CacheHit {
+		t.Fatalf("sequential run after parallel run: cache = %q, want hit (shared key)", j2.Cache)
+	}
+}
+
+// TestSampledRunParallelismOutOfRange: an out-of-range Parallelism is a
+// bad_request that names the accepted range.
+func TestSampledRunParallelismOutOfRange(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	for _, par := range []int{-1, 65} {
+		bad := sampledRun
+		pol := *sampledRun.Sampling
+		pol.SegmentWindows = 2
+		pol.Parallelism = par
+		bad.Sampling = &pol
+		_, err := cl.Run(context.Background(), bad)
+		ae := apiError(t, err)
+		if ae.Code != api.CodeBadRequest || ae.HTTPStatus != http.StatusBadRequest {
+			t.Fatalf("parallelism %d error = %+v", par, ae)
+		}
+		if len(ae.Accepted) != 1 || ae.Accepted[0] != "0..64" {
+			t.Fatalf("parallelism %d accepted = %v, want [0..64]", par, ae.Accepted)
+		}
+	}
+}
+
+// TestSampledRunParallelWithoutSegments: Parallelism > 1 without
+// SegmentWindows is rejected by policy validation.
+func TestSampledRunParallelWithoutSegments(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	bad := sampledRun
+	pol := *sampledRun.Sampling
+	pol.Parallelism = 4
+	bad.Sampling = &pol
+	_, err := cl.Run(context.Background(), bad)
+	if ae := apiError(t, err); ae.Code != api.CodeBadRequest {
+		t.Fatalf("parallel-without-segments error = %+v", ae)
 	}
 }
 

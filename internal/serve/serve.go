@@ -304,6 +304,8 @@ func samplingPolicy(p *api.SamplingPolicy) *sample.Policy {
 		TargetRelCI:      p.TargetRelCI,
 		MinWindows:       p.MinWindows,
 		MaxWindows:       p.MaxWindows,
+		SegmentWindows:   p.SegmentWindows,
+		Parallelism:      p.Parallelism,
 	}
 }
 
@@ -312,6 +314,13 @@ func samplingPolicy(p *api.SamplingPolicy) *sample.Policy {
 func checkSampling(pol *sample.Policy, audit bool) *api.Error {
 	if pol == nil {
 		return nil
+	}
+	if pol.Parallelism < 0 || pol.Parallelism > sample.MaxParallelism {
+		return &api.Error{
+			Code:     api.CodeBadRequest,
+			Message:  fmt.Sprintf("sampling.parallelism %d out of range", pol.Parallelism),
+			Accepted: []string{fmt.Sprintf("0..%d", sample.MaxParallelism)},
+		}
 	}
 	if err := pol.Validate(); err != nil {
 		return &api.Error{Code: api.CodeBadRequest, Message: err.Error()}

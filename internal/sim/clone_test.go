@@ -1,0 +1,148 @@
+package sim_test
+
+// Clone-equivalence tests for the composite simulation state the
+// segment-parallel sampler snapshots: a cpu.Model bound to a
+// hier.Hierarchy with a timekeeping tracker attached. The contract under
+// test — clone mid-run, advance original and clone through the same
+// reference suffix independently, get identical results — is exactly what
+// makes segment instances interchangeable with a single carried timeline.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"timekeeping/internal/core"
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/hier"
+	"timekeeping/internal/trace"
+	"timekeeping/internal/workload"
+)
+
+// cloneRig builds a hierarchy+cpu+tracker triple over the default
+// geometry.
+func cloneRig() (*hier.Hierarchy, *cpu.Model, *core.Tracker) {
+	h := hier.New(hier.DefaultConfig())
+	tr := core.NewTracker(h.L1().NumFrames())
+	h.AddObserver(tr)
+	m := cpu.New(cpu.DefaultConfig(), h)
+	return h, m, tr
+}
+
+func TestHierCPUCloneEquivalence(t *testing.T) {
+	for _, bench := range []string{"mcf", "crafty", "gzip"} {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			const prefix, suffix = 30_000, 40_000
+			spec := workload.MustProfile(bench)
+			refs := trace.Collect(spec.Stream(1), prefix+suffix)
+
+			h, m, tr := cloneRig()
+			s1 := &trace.SliceStream{Refs: refs}
+			if _, err := m.RunContext(context.Background(), s1, prefix); err != nil {
+				t.Fatal(err)
+			}
+			consumed := m.Snapshot().Refs
+
+			h2 := h.Clone()
+			tr2 := tr.Clone()
+			h2.AddObserver(tr2)
+			m2 := m.Clone(h2)
+			s2 := &trace.SliceStream{Refs: refs[consumed:]}
+
+			if _, err := m.RunContext(context.Background(), s1, suffix); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m2.RunContext(context.Background(), s2, suffix); err != nil {
+				t.Fatal(err)
+			}
+
+			if a, b := m.Snapshot(), m2.Snapshot(); a != b {
+				t.Errorf("cpu snapshots diverged:\noriginal %+v\nclone %+v", a, b)
+			}
+			if a, b := h.Stats(), h2.Stats(); a != b {
+				t.Errorf("hier stats diverged:\noriginal %+v\nclone %+v", a, b)
+			}
+			if !reflect.DeepEqual(tr.Metrics(), tr2.Metrics()) {
+				t.Error("tracker metrics diverged")
+			}
+			if m.Snapshot().Refs != prefix+suffix {
+				t.Fatalf("consumed %d refs, want %d", m.Snapshot().Refs, prefix+suffix)
+			}
+		})
+	}
+}
+
+// TestHierCPUCloneIsolated: after the split, advancing the clone must not
+// move the original.
+func TestHierCPUCloneIsolated(t *testing.T) {
+	spec := workload.MustProfile("twolf")
+	refs := trace.Collect(spec.Stream(1), 40_000)
+	h, m, _ := cloneRig()
+	s1 := &trace.SliceStream{Refs: refs}
+	if _, err := m.RunContext(context.Background(), s1, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Snapshot()
+	beforeStats := h.Stats()
+
+	h2 := h.Clone()
+	m2 := m.Clone(h2)
+	s2 := &trace.SliceStream{Refs: refs[before.Refs:]}
+	if _, err := m2.RunContext(context.Background(), s2, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot() != before || h.Stats() != beforeStats {
+		t.Fatal("advancing the clone mutated the original")
+	}
+}
+
+// TestHierCloneWithMixedWarmDetailed: the clone must also be transparent
+// across the functional/detailed mode switch the sampler performs.
+func TestHierCloneWithMixedWarmDetailed(t *testing.T) {
+	spec := workload.MustProfile("vpr")
+	refs := trace.Collect(spec.Stream(1), 80_000)
+	h, m, tr := cloneRig()
+	s1 := &trace.SliceStream{Refs: refs}
+	if _, err := m.RunFunctional(context.Background(), s1, 20_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunContext(context.Background(), s1, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	consumed := m.Snapshot().Refs
+
+	h2 := h.Clone()
+	tr2 := tr.Clone()
+	h2.AddObserver(tr2)
+	m2 := m.Clone(h2)
+	s2 := &trace.SliceStream{Refs: refs[consumed:]}
+
+	for _, step := range []func(m *cpu.Model, s trace.Stream) error{
+		func(m *cpu.Model, s trace.Stream) error {
+			_, err := m.RunFunctional(context.Background(), s, 15_000, 1)
+			return err
+		},
+		func(m *cpu.Model, s trace.Stream) error {
+			_, err := m.RunContext(context.Background(), s, 10_000)
+			return err
+		},
+	} {
+		if err := step(m, s1); err != nil {
+			t.Fatal(err)
+		}
+		if err := step(m2, s2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := m.Snapshot(), m2.Snapshot(); a != b {
+		t.Errorf("cpu snapshots diverged:\noriginal %+v\nclone %+v", a, b)
+	}
+	if a, b := h.Stats(), h2.Stats(); a != b {
+		t.Errorf("hier stats diverged:\noriginal %+v\nclone %+v", a, b)
+	}
+	if !reflect.DeepEqual(tr.Metrics(), tr2.Metrics()) {
+		t.Error("tracker metrics diverged")
+	}
+}

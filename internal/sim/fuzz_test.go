@@ -14,7 +14,11 @@ import (
 	"testing"
 
 	"timekeeping/internal/cache"
+	"timekeeping/internal/core"
+	"timekeeping/internal/cpu"
+	"timekeeping/internal/hier"
 	"timekeeping/internal/sim"
+	"timekeeping/internal/trace"
 	"timekeeping/internal/workload"
 )
 
@@ -142,6 +146,89 @@ func FuzzAuditedRun(f *testing.F) {
 		fast.Engine = ""
 		if !reflect.DeepEqual(want, fast) {
 			t.Fatalf("fast engine diverges from audited reference run\nref:  %+v\nfast: %+v", want, fast)
+		}
+	})
+}
+
+// FuzzCloneDiverge hunts for inputs where a mid-run clone diverges from
+// its original: it splits a randomly shaped workload at a random point,
+// clones the hierarchy/CPU/tracker there, drives both copies through the
+// identical suffix — mixing the functional and detailed modes the sampler
+// alternates — and fails on any difference in CPU results, hierarchy
+// stats, or tracker metrics. Seeds reuse the FuzzAuditedRun corpus shape.
+func FuzzCloneDiverge(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(512), uint64(3), uint64(100))
+	f.Add(uint64(2), uint64(1), uint64(4), uint64(7), uint64(2), uint64(9000))
+	f.Add(uint64(3), uint64(2), uint64(3), uint64(64), uint64(1), uint64(40))
+	f.Add(uint64(7), uint64(9), uint64(2), uint64(31), uint64(4), uint64(5))
+	f.Add(uint64(11), uint64(4), uint64(1), uint64(123), uint64(0), uint64(77))
+
+	f.Fuzz(func(t *testing.T, seed, mech, kind1, n1, kind2, n2 uint64) {
+		spec := workload.Spec{
+			Name: "fuzz",
+			Seed: seed,
+			Components: []workload.ComponentSpec{
+				fuzzComponent(kind1, n1),
+				fuzzComponent(kind2, n2),
+			},
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("fuzzComponent built an invalid spec: %v", err)
+		}
+
+		prefix := 500 + n1%4000
+		suffix := 500 + n2%4000
+		refs := trace.Collect(spec.Stream(seed), int(prefix+suffix))
+
+		hcfg := hier.DefaultConfig()
+		hcfg.L1 = fuzzL1Geometries[mech%uint64(len(fuzzL1Geometries))]
+		h := hier.New(hcfg)
+		tr := core.NewTracker(h.L1().NumFrames())
+		h.AddObserver(tr)
+		m := cpu.New(cpu.DefaultConfig(), h)
+
+		ctx := context.Background()
+		s1 := &trace.SliceStream{Refs: refs}
+		// Split the prefix between the functional and detailed paths so
+		// clones taken after either mode are covered.
+		if mech&1 != 0 {
+			if _, err := m.RunFunctional(ctx, s1, prefix/2, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.RunContext(ctx, s1, prefix-prefix/2*(mech&1)); err != nil {
+			t.Fatal(err)
+		}
+		consumed := m.Snapshot().Refs
+
+		h2 := h.Clone()
+		tr2 := tr.Clone()
+		h2.AddObserver(tr2)
+		m2 := m.Clone(h2)
+		s2 := &trace.SliceStream{Refs: refs[consumed:]}
+
+		run := func(m *cpu.Model, s trace.Stream) {
+			t.Helper()
+			if mech&2 != 0 {
+				if _, err := m.RunFunctional(ctx, s, suffix/2, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := m.RunContext(ctx, s, suffix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run(m, s1)
+		run(m2, s2)
+
+		if a, b := m.Snapshot(), m2.Snapshot(); a != b {
+			t.Fatalf("cpu snapshots diverged:\noriginal %+v\nclone %+v", a, b)
+		}
+		if a, b := h.Stats(), h2.Stats(); a != b {
+			t.Fatalf("hier stats diverged:\noriginal %+v\nclone %+v", a, b)
+		}
+		if !reflect.DeepEqual(tr.Metrics(), tr2.Metrics()) {
+			t.Fatal("tracker metrics diverged")
 		}
 	})
 }

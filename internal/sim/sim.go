@@ -276,6 +276,14 @@ type Spec struct {
 	// saved trace file) instead of generating one from Workload.
 	Stream trace.Stream
 
+	// StreamFactory, when non-nil, re-derives an independent copy of the
+	// explicit Stream from its origin; each call must yield a stream that
+	// reproduces the same reference sequence. Segment-parallel sampling
+	// (sample.Policy.SegmentWindows > 0) needs it to fork the stream at
+	// segment boundaries — workload-backed specs re-derive theirs from the
+	// seed automatically and can leave it nil. Ignored for exact runs.
+	StreamFactory func() (trace.Stream, error)
+
 	// Name labels the result; it defaults to Workload.Name when a
 	// workload supplies the stream.
 	Name string
@@ -341,6 +349,7 @@ func Run(ctx context.Context, s Spec) (Result, error) {
 	opt := s.Opts
 	name := s.Name
 	stream := s.Stream
+	factory := s.StreamFactory
 	if stream == nil {
 		if err := s.Workload.Validate(); err != nil {
 			return Result{}, err
@@ -349,6 +358,12 @@ func Run(ctx context.Context, s Spec) (Result, error) {
 			name = s.Workload.Name
 		}
 		stream = s.Workload.Stream(opt.Seed)
+		if factory == nil {
+			// Workload streams are pure functions of (spec, seed): segment
+			// forks re-derive them for free.
+			wl, seed := s.Workload, opt.Seed
+			factory = func() (trace.Stream, error) { return wl.Stream(seed), nil }
+		}
 	}
 	if err := opt.Hier.Validate(); err != nil {
 		return Result{}, err
@@ -376,7 +391,7 @@ func Run(ctx context.Context, s Spec) (Result, error) {
 	if eng == EngineFast {
 		res, err = runFast(ctx, name, stream, opt)
 	} else {
-		res, err = runReference(ctx, name, stream, opt)
+		res, err = runReference(ctx, name, stream, factory, opt)
 	}
 	if err != nil {
 		return Result{}, err
@@ -556,8 +571,10 @@ func (p prefetchers) report(res *Result) {
 
 // runReference drives the original cpu.Model + hier.Hierarchy loop. It
 // is the executable specification: every option works here, and the
-// differential gate measures the fast engine against its output.
-func runReference(ctx context.Context, name string, stream trace.Stream, opt Options) (Result, error) {
+// differential gate measures the fast engine against its output. factory
+// re-derives the (unfiltered) stream from its origin; it may be nil, in
+// which case segment-parallel sampling is unavailable.
+func runReference(ctx context.Context, name string, stream trace.Stream, factory func() (trace.Stream, error), opt Options) (Result, error) {
 	h := hier.New(opt.Hier)
 	if opt.Events != nil {
 		h.SetEvents(opt.Events)
@@ -635,6 +652,7 @@ func runReference(ctx context.Context, name string, stream trace.Stream, opt Opt
 	m.SetProgress(opt.Progress)
 
 	var res Result
+	var segs *segmentMechs
 	if opt.Sampling != nil {
 		// Sampled run: the engine owns the warm/measure alternation and
 		// the progress lifecycle; tracker metrics accumulate only inside
@@ -643,7 +661,7 @@ func runReference(ctx context.Context, name string, stream trace.Stream, opt Opt
 		if tracker != nil {
 			warmables = append(warmables, tracker)
 		}
-		out, err := sample.Run(ctx, sample.Config{
+		scfg := sample.Config{
 			CPU:         m,
 			Hier:        h,
 			Stream:      stream,
@@ -653,7 +671,16 @@ func runReference(ctx context.Context, name string, stream trace.Stream, opt Opt
 			Progress:    opt.Progress,
 			Warmables:   warmables,
 			Events:      opt.Events,
-		})
+		}
+		if opt.Sampling.SegmentWindows > 0 {
+			if factory == nil {
+				return Result{}, fmt.Errorf("sim: segment-parallel sampling needs a re-derivable stream (workload-backed runs, or Spec.StreamFactory for explicit streams)")
+			}
+			segs = &segmentMechs{byID: make(map[int]*segInstance)}
+			scfg.SegmentStream = segmentStream(factory, opt)
+			scfg.NewInstance = newInstanceFactory(h, m, tracker, segs, opt)
+		}
+		out, err := sample.Run(ctx, scfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -661,7 +688,7 @@ func runReference(ctx context.Context, name string, stream trace.Stream, opt Opt
 			Bench:     name,
 			CPU:       out.CPU,
 			Hier:      out.Hier,
-			TotalRefs: m.Snapshot().Refs,
+			TotalRefs: out.TotalRefs,
 			Estimate:  &out.Estimate,
 		}
 	} else {
@@ -710,6 +737,12 @@ func runReference(ctx context.Context, name string, stream trace.Stream, opt Opt
 			Hier:      h.Stats(),
 			TotalRefs: final.Refs,
 		}
+	}
+	if segs != nil {
+		// Segment-parallel run: the prototype's mechanisms never executed;
+		// pool each segment instance's outputs in fixed segment order.
+		segs.report(&res)
+		return res, nil
 	}
 	if vc != nil {
 		s := vc.Stats()

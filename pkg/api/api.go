@@ -55,6 +55,14 @@ type SamplingPolicy struct {
 	TargetRelCI float64 `json:"target_rel_ci,omitempty"`
 	MinWindows  int     `json:"min_windows,omitempty"`
 	MaxWindows  int     `json:"max_windows,omitempty"`
+	// SegmentWindows, when > 0, selects the segment-parallel schedule:
+	// windows per independently warmed segment. Changes results (and the
+	// result-cache key) versus the classic single-timeline schedule.
+	SegmentWindows int `json:"segment_windows,omitempty"`
+	// Parallelism bounds the worker pool executing segments (0 or 1 =
+	// sequential; > 1 requires SegmentWindows > 0; max 64). Results are
+	// identical at every level, so it does not enter the cache key.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
