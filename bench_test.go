@@ -155,6 +155,37 @@ func BenchmarkSampledFigure1(b *testing.B) {
 	}
 }
 
+// BenchmarkPhaseSampledFigure1 is BenchmarkSampledFigure1 on the phase
+// schedule: the same full-scale Figure 1 sweep, but detailed windows land
+// on cluster representatives instead of a fixed period. Each iteration
+// checks every run carried a phase summary with a sane clustering.
+func BenchmarkPhaseSampledFigure1(b *testing.B) {
+	exp, err := experiments.ByID("fig1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.Opts = sim.Default() // full scale; sampling does the reduction
+		pol := sample.DefaultPolicy()
+		pol.Schedule = sample.SchedulePhase
+		r.Sampling = pol
+		if tables := exp.Run(r); len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+		for _, bench := range r.Benches {
+			res := r.Result("base", bench)
+			if res.Estimate == nil || res.Estimate.Windows < 2 {
+				b.Fatalf("%s: not sampled: %+v", bench, res.Estimate)
+			}
+			p := res.Estimate.Phase
+			if p == nil || p.K < 1 || p.RepWindows != res.Estimate.Windows {
+				b.Fatalf("%s: no phase summary: %+v", bench, p)
+			}
+		}
+	}
+}
+
 // BenchmarkSampledSpeedup is the tentpole performance demonstration: the
 // same (bench, Options) pair exact vs sampled at the full default scale.
 // Compare the two sub-benchmarks' ns/op — the sampled run must be ≥3×

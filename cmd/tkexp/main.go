@@ -48,6 +48,9 @@ func main() {
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: per-run target relative CI half-width (e.g. 0.02)")
 		smpPar   = flag.Int("sample-parallel", 0, "with -sample: worker pool size for the segment-parallel schedule (0 = sequential classic schedule)")
 		smpSeg   = flag.Int("sample-segments", 0, "with -sample: windows per independently warmed segment (0 = 4 when -sample-parallel is set)")
+		smpPhase = flag.Bool("sample-phase", false, "with -sample: phase-aware window placement on cluster representatives (internal/phase)")
+		phaseIv  = flag.Int("phase-intervals", 0, "with -sample-phase: profiling intervals over the measure span (0 = 64)")
+		phaseK   = flag.Int("phase-k", 0, "with -sample-phase: fixed cluster count (0 = BIC model selection)")
 		evOut    = flag.String("events-out", "", "capture per-experiment-point run spans (and generation events) and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
 		evCap    = flag.Int("events-cap", 0, "with -events-out: event ring capacity (0 = 65536)")
 		cacheDir = flag.String("cache-dir", "", "durable result cache directory: runs repeated across invocations are answered from disk")
@@ -111,13 +114,29 @@ func main() {
 	if *seed > 0 {
 		runner.Opts.Seed = *seed
 	}
-	if *smp || *smpCI > 0 || *smpPar > 0 || *smpSeg > 0 {
+	if *smp || *smpCI > 0 || *smpPar > 0 || *smpSeg > 0 || *smpPhase || *phaseIv > 0 || *phaseK > 0 {
+		if *smpCI > 0 && *smpSeg > 0 {
+			fmt.Fprintln(os.Stderr, "tkexp: -sample-ci conflicts with -sample-segments; pick one")
+			os.Exit(2)
+		}
+		if *smpPhase && (*smpCI > 0 || *smpSeg > 0 || *smpPar > 1) {
+			fmt.Fprintln(os.Stderr, "tkexp: -sample-phase conflicts with -sample-ci/-sample-segments/-sample-parallel; pick one")
+			os.Exit(2)
+		}
 		pol := sample.DefaultPolicy()
 		pol.TargetRelCI = *smpCI
 		pol.SegmentWindows = *smpSeg
 		pol.Parallelism = *smpPar
 		if pol.Parallelism > 1 && pol.SegmentWindows == 0 {
 			pol.SegmentWindows = 4
+		}
+		if *smpPhase {
+			pol.Schedule = sample.SchedulePhase
+			pol.PhaseIntervals = *phaseIv
+			pol.PhaseK = *phaseK
+		} else if *phaseIv > 0 || *phaseK > 0 {
+			fmt.Fprintln(os.Stderr, "tkexp: -phase-intervals/-phase-k need -sample-phase")
+			os.Exit(2)
 		}
 		if err := pol.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)

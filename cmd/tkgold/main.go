@@ -113,6 +113,16 @@ func run(args []string, out, errOut io.Writer) int {
 		} else if !*update {
 			fmt.Fprintln(out, "ok    bench_fig1")
 		}
+		if err := phaseCorpus(*update, *dir, out); err != nil {
+			if *update {
+				fmt.Fprintln(errOut, "tkgold:", err)
+				return 1
+			}
+			fmt.Fprintf(out, "DRIFT phase_sampled: %v\n", err)
+			drifted = append(drifted, "phase_sampled")
+		} else if !*update {
+			fmt.Fprintln(out, "ok    phase_sampled")
+		}
 	}
 
 	if len(drifted) > 0 {
@@ -170,6 +180,41 @@ func auditStore(storeDir, corpusDir string, benches []string, out, errOut io.Wri
 		return 1
 	}
 	return 0
+}
+
+// phaseCorpus maintains phase_sampled.json: phase-sampled estimates for
+// the representative subset, pinning the seeded clustering pipeline's
+// determinism (signatures, k-means, window plan, stratified estimates).
+func phaseCorpus(update bool, dir string, out io.Writer) error {
+	opt := golden.PhaseOptions()
+	var entries []golden.PhaseEntry
+	for _, b := range golden.PhaseBenches {
+		e, err := golden.ComputePhase(b, opt)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+	if update {
+		if err := golden.SavePhase(entries); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", golden.PhasePath())
+		return nil
+	}
+	want, err := golden.LoadPhaseFrom(dir)
+	if err != nil {
+		return fmt.Errorf("%w (run with -update to create the corpus)", err)
+	}
+	if len(want) != len(entries) {
+		return fmt.Errorf("stored %d entries, computed %d", len(want), len(entries))
+	}
+	for i, e := range entries {
+		if d := golden.PhaseDiff(e, want[i]); d != "" {
+			return fmt.Errorf("%s: %s", e.Bench, d)
+		}
+	}
+	return nil
 }
 
 // benchCorpus maintains bench_fig1.json: the benchmark-smoke subset at the

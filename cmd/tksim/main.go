@@ -61,6 +61,10 @@ func main() {
 		smpCI    = flag.Float64("sample-ci", 0, "with -sample: keep sampling until the IPC estimate's relative CI half-width is at most this (e.g. 0.02)")
 		smpPar   = flag.Int("sample-parallel", 0, "with -sample: worker pool size for the segment-parallel schedule (0 = sequential classic schedule)")
 		smpSeg   = flag.Int("sample-segments", 0, "with -sample: windows per independently warmed segment (0 = 4 when -sample-parallel is set)")
+		smpPhase = flag.Bool("sample-phase", false, "phase-aware sampling: cluster profiling-interval signatures and spend detailed windows on cluster representatives")
+		phaseIv  = flag.Int("phase-intervals", 0, "with -sample-phase: profiling intervals over the measure span (0 = 64)")
+		phaseK   = flag.Int("phase-k", 0, "with -sample-phase: fixed cluster count (0 = BIC model selection)")
+		phaseSd  = flag.Uint64("phase-seed", 0, "with -sample-phase: clustering/projection seed (0 = 1)")
 		evOut    = flag.String("events-out", "", "capture generation events and write a Perfetto trace (or JSONL with a .jsonl suffix) to this file")
 		evSets   = flag.String("events-sets", "", "restrict event capture to these L1 sets, e.g. 0:3 or 5,9,12 (default: all)")
 		evKinds  = flag.String("events-kinds", "", "restrict event capture to these kinds, e.g. fill,hit,evict (default: all)")
@@ -109,20 +113,12 @@ func main() {
 	if *seed > 0 {
 		opt.Seed = *seed
 	}
-	if *smp || *smpCI > 0 || *smpPar > 0 || *smpSeg > 0 {
-		pol := sample.DefaultPolicy()
-		pol.TargetRelCI = *smpCI
-		pol.SegmentWindows = *smpSeg
-		pol.Parallelism = *smpPar
-		if pol.Parallelism > 1 && pol.SegmentWindows == 0 {
-			pol.SegmentWindows = 4
-		}
-		if err := pol.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		opt.Sampling = pol
+	pol, err := samplePolicyFromFlags(*smp, *smpCI, *smpPar, *smpSeg, *smpPhase, *phaseIv, *phaseK, *phaseSd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	opt.Sampling = pol
 
 	var sink *events.Sink
 	if *evOut != "" {
@@ -167,10 +163,11 @@ func main() {
 			os.Exit(1)
 		}
 		spec := sim.Spec{Name: *traceIn, Stream: rd, Opts: opt, Engine: eng}
-		if opt.Sampling != nil && opt.Sampling.SegmentWindows > 0 {
-			// Segment workers each replay the trace independently from their
-			// own fork offset: load it once and serve fresh SliceStreams over
-			// the shared reference slice.
+		if opt.Sampling != nil && (opt.Sampling.SegmentWindows > 0 || opt.Sampling.Schedule == sample.SchedulePhase) {
+			// Segment workers (and the phase schedule's profiling pass) each
+			// replay the trace independently from their own fork offset: load
+			// it once and serve fresh SliceStreams over the shared reference
+			// slice.
 			var refs []trace.Ref
 			var r trace.Ref
 			for rd.Next(&r) {
@@ -254,6 +251,10 @@ func main() {
 		if e.Policy.TargetRelCI > 0 {
 			fmt.Printf("target CI    ±%.1f%%: met=%v\n", 100*e.Policy.TargetRelCI, e.TargetMet)
 		}
+		if p := e.Phase; p != nil {
+			fmt.Printf("phases       %d clusters over %d intervals (masses %v), %d representative windows\n",
+				p.K, p.Intervals, p.Masses, p.RepWindows)
+		}
 		fmt.Println("-- pooled detailed-window counters --")
 	}
 	fmt.Printf("IPC          %.4f\n", res.CPU.IPC)
@@ -297,6 +298,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// samplePolicyFromFlags assembles the sampling policy from the -sample*
+// flag values, or nil when none are set. Flag conflicts are reported here
+// at parse time with messages naming the flags (not the policy fields), so
+// the user sees "-sample-ci conflicts with -sample-segments" instead of a
+// validation error from deep inside sample.Policy.
+func samplePolicyFromFlags(smp bool, ci float64, par, seg int, phase bool, phaseIv, phaseK int, phaseSeed uint64) (*sample.Policy, error) {
+	if !smp && ci == 0 && par == 0 && seg == 0 && !phase && phaseIv == 0 && phaseK == 0 && phaseSeed == 0 {
+		return nil, nil
+	}
+	if ci > 0 && seg > 0 {
+		return nil, fmt.Errorf("tksim: -sample-ci conflicts with -sample-segments (a CI-driven stop would depend on segment scheduling order); pick one")
+	}
+	if phase && ci > 0 {
+		return nil, fmt.Errorf("tksim: -sample-phase conflicts with -sample-ci (the phase schedule fixes its window set before measuring); pick one")
+	}
+	if phase && (seg > 0 || par > 1) {
+		return nil, fmt.Errorf("tksim: -sample-phase conflicts with -sample-segments/-sample-parallel (phase windows sit on cluster representatives, not a segmentable grid); pick one")
+	}
+	if !phase && (phaseIv != 0 || phaseK != 0 || phaseSeed != 0) {
+		return nil, fmt.Errorf("tksim: -phase-intervals/-phase-k/-phase-seed need -sample-phase")
+	}
+	pol := sample.DefaultPolicy()
+	pol.TargetRelCI = ci
+	pol.SegmentWindows = seg
+	pol.Parallelism = par
+	if pol.Parallelism > 1 && pol.SegmentWindows == 0 {
+		pol.SegmentWindows = 4
+	}
+	if phase {
+		pol.Schedule = sample.SchedulePhase
+		pol.PhaseIntervals = phaseIv
+		pol.PhaseK = phaseK
+		pol.PhaseSeed = phaseSeed
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	return pol, nil
 }
 
 // writeEvents exports the capture: Chrome trace-event JSON by default,

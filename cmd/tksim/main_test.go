@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"timekeeping/internal/sample"
+)
+
+func TestPhaseSampleFlagAssembly(t *testing.T) {
+	// No sampling flags → no policy.
+	pol, err := samplePolicyFromFlags(false, 0, 0, 0, false, 0, 0, 0)
+	if err != nil || pol != nil {
+		t.Fatalf("no flags: pol=%v err=%v", pol, err)
+	}
+
+	// -sample-phase alone builds a phase policy on the defaults.
+	pol, err = samplePolicyFromFlags(false, 0, 0, 0, true, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Schedule != sample.SchedulePhase {
+		t.Fatalf("schedule = %q, want %q", pol.Schedule, sample.SchedulePhase)
+	}
+
+	// Knobs flow through.
+	pol, err = samplePolicyFromFlags(true, 0, 0, 0, true, 128, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.PhaseIntervals != 128 || pol.PhaseK != 4 || pol.PhaseSeed != 9 {
+		t.Fatalf("phase knobs not forwarded: %+v", pol)
+	}
+}
+
+func TestPhaseSampleFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name     string
+		ci       float64
+		par, seg int
+		phase    bool
+		iv, k    int
+		seed     uint64
+		wantAll  []string // substrings the error must name
+	}{
+		{name: "ci vs segments", ci: 0.02, seg: 4,
+			wantAll: []string{"-sample-ci", "-sample-segments"}},
+		{name: "phase vs ci", ci: 0.02, phase: true,
+			wantAll: []string{"-sample-phase", "-sample-ci"}},
+		{name: "phase vs segments", seg: 4, phase: true,
+			wantAll: []string{"-sample-phase", "-sample-segments"}},
+		{name: "phase vs parallel", par: 4, phase: true,
+			wantAll: []string{"-sample-phase", "-sample-parallel"}},
+		{name: "phase knobs without phase", iv: 64,
+			wantAll: []string{"-phase-intervals", "-sample-phase"}},
+		{name: "phase seed without phase", seed: 3,
+			wantAll: []string{"-phase-seed", "-sample-phase"}},
+	}
+	for _, tc := range cases {
+		_, err := samplePolicyFromFlags(true, tc.ci, tc.par, tc.seg, tc.phase, tc.iv, tc.k, tc.seed)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		for _, want := range tc.wantAll {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not name %s", tc.name, err, want)
+			}
+		}
+	}
+}

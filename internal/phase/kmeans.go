@@ -1,0 +1,343 @@
+package phase
+
+import (
+	"math"
+	"sort"
+
+	"timekeeping/internal/rng"
+)
+
+// Clustering is the result of grouping interval signatures into phases.
+type Clustering struct {
+	// K is the number of clusters.
+	K int
+	// Assign maps each interval index to its cluster.
+	Assign []int
+	// Sizes is each cluster's interval count (its mass).
+	Sizes []int
+	// Centroids are the cluster means in signature space.
+	Centroids [][]float64
+	// WCSS is the total within-cluster sum of squared distances.
+	WCSS float64
+	// BIC is the Bayesian information criterion score of this model
+	// (higher is better); Select uses it to choose K.
+	BIC float64
+}
+
+// maxLloydIters bounds the Lloyd refinement loop; assignments essentially
+// always stabilise long before this on interval counts we cluster.
+const maxLloydIters = 100
+
+// KMeans clusters the signatures into (at most) k groups with seeded
+// k-means++ initialisation and Lloyd refinement. It is fully
+// deterministic for a given (sigs, k, seed): ties in assignment and
+// initialisation break toward the lower index. k is clamped to
+// [1, len(sigs)]; sigs must be non-empty.
+func KMeans(sigs [][]float64, k int, seed uint64) *Clustering {
+	n := len(sigs)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rnd := rng.New(seed ^ 0xc2b2ae3d27d4eb4f)
+
+	// k-means++ seeding: first centroid uniform, then each next centroid
+	// with probability proportional to squared distance from the nearest
+	// chosen one.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(sigs[rnd.Intn(n)]))
+	d2 := make([]float64, n)
+	for i := range sigs {
+		d2[i] = dist2(sigs[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		pick := 0
+		if sum > 0 {
+			target := rnd.Float64() * sum
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		} else {
+			// All points coincide with a centroid; any pick works.
+			pick = rnd.Intn(n)
+		}
+		centroids = append(centroids, clone(sigs[pick]))
+		for i := range sigs {
+			if d := dist2(sigs[i], centroids[len(centroids)-1]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	for iter := 0; iter < maxLloydIters; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, sig := range sigs {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := dist2(sig, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+		}
+		// Re-seat empty clusters on the point farthest from its centroid
+		// so every cluster survives (deterministic: first farthest wins).
+		for c := 0; c < k; c++ {
+			if sizes[c] > 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i, sig := range sigs {
+				if sizes[assign[i]] <= 1 {
+					continue
+				}
+				if d := dist2(sig, centroids[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far < 0 {
+				continue
+			}
+			sizes[assign[far]]--
+			assign[far] = c
+			sizes[c] = 1
+			changed = true
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centroids as cluster means (accumulated in ascending
+		// interval order, so float rounding is deterministic).
+		for c := range centroids {
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, sig := range sigs {
+			cent := centroids[assign[i]]
+			for d, v := range sig {
+				cent[d] += v
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	cl := &Clustering{K: k, Assign: assign, Sizes: sizes, Centroids: centroids}
+	for i, sig := range sigs {
+		cl.WCSS += dist2(sig, centroids[assign[i]])
+	}
+	cl.BIC = bic(cl, len(sigs[0]))
+	return cl
+}
+
+// Select runs KMeans for k = 1..maxK and picks the model BIC prefers —
+// the smallest k scoring at least 90% of the way from the worst to the
+// best BIC, the SimPoint heuristic that favours fewer phases when the
+// extra clusters explain little.
+func Select(sigs [][]float64, maxK int, seed uint64) *Clustering {
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > len(sigs) {
+		maxK = len(sigs)
+	}
+	models := make([]*Clustering, 0, maxK)
+	best, worst := math.Inf(-1), math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		m := KMeans(sigs, k, seed)
+		models = append(models, m)
+		// A k = n model scores -Inf (no residual degrees of freedom);
+		// keep it out of the threshold range or the range is infinite.
+		if math.IsInf(m.BIC, -1) {
+			continue
+		}
+		if m.BIC > best {
+			best = m.BIC
+		}
+		if m.BIC < worst {
+			worst = m.BIC
+		}
+	}
+	if math.IsInf(best, -1) {
+		return models[0]
+	}
+	threshold := worst + 0.9*(best-worst)
+	for _, m := range models {
+		if m.BIC >= threshold {
+			return m
+		}
+	}
+	return models[len(models)-1]
+}
+
+// bic scores the clustering under the X-means spherical-Gaussian model:
+// the maximised log-likelihood minus a per-parameter penalty of
+// (log n)/2. Higher is better.
+func bic(cl *Clustering, dim int) float64 {
+	n := len(cl.Assign)
+	k := cl.K
+	if n <= k {
+		return math.Inf(-1)
+	}
+	// MLE of the shared spherical variance. A perfect fit (all points on
+	// their centroids) gets a floor so the log stays finite; the model
+	// comparison still prefers it strongly.
+	sigma2 := cl.WCSS / float64(dim*(n-k))
+	if sigma2 < 1e-12 {
+		sigma2 = 1e-12
+	}
+	ll := 0.0
+	for _, sz := range cl.Sizes {
+		if sz > 0 {
+			ll += float64(sz) * math.Log(float64(sz))
+		}
+	}
+	ll -= float64(n) * math.Log(float64(n))
+	ll -= float64(n*dim) / 2 * math.Log(2*math.Pi*sigma2)
+	ll -= float64((n-k)*dim) / 2
+	params := float64(k-1) + float64(k*dim) + 1
+	return ll - params/2*math.Log(float64(n))
+}
+
+// Window is one planned detailed-measurement placement: the profiling
+// interval to measure, the cluster it represents, and the interval mass
+// (cluster size over windows allocated to the cluster) its sample weighs
+// in the pooled estimate.
+type Window struct {
+	Interval int
+	Cluster  int
+	Weight   float64
+}
+
+// Plan spends a detailed-window budget across the clusters: windows are
+// allocated to clusters proportionally to interval mass (largest-remainder
+// rounding, every cluster keeps at least one window while the budget
+// allows), and within a cluster they land on the member intervals nearest
+// the centroid. When the budget is smaller than K, only the heaviest
+// clusters are measured (their weights still reflect their own mass; the
+// unmeasured clusters' mass is dropped from the estimate rather than
+// misattributed). The returned windows are sorted by interval — the
+// execution order of the single-timeline phase schedule — and the plan is
+// a pure function of (clustering, budget).
+func (c *Clustering) Plan(sigs [][]float64, budget int) []Window {
+	n := len(c.Assign)
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > n {
+		budget = n
+	}
+
+	type clusterRank struct{ id, size int }
+	ranked := make([]clusterRank, 0, c.K)
+	for id, sz := range c.Sizes {
+		if sz > 0 {
+			ranked = append(ranked, clusterRank{id, sz})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].size != ranked[j].size {
+			return ranked[i].size > ranked[j].size
+		}
+		return ranked[i].id < ranked[j].id
+	})
+
+	alloc := make([]int, c.K)
+	if budget < len(ranked) {
+		// Too few windows to cover every phase: measure the heaviest.
+		for _, r := range ranked[:budget] {
+			alloc[r.id] = 1
+		}
+	} else {
+		// One window per cluster, then the rest proportionally to mass
+		// by largest remainder (ties toward the heavier, then lower-id
+		// cluster via the ranked order).
+		rest := budget - len(ranked)
+		quotas := make([]float64, 0, len(ranked))
+		used := 0
+		for _, r := range ranked {
+			alloc[r.id] = 1
+			q := float64(rest) * float64(r.size) / float64(n)
+			alloc[r.id] += int(q)
+			used += int(q)
+			quotas = append(quotas, q-math.Floor(q))
+		}
+		order := make([]int, len(ranked))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool { return quotas[order[i]] > quotas[order[j]] })
+		for _, i := range order {
+			if used == rest {
+				break
+			}
+			// A cluster cannot hold more windows than member intervals.
+			if alloc[ranked[i].id] < ranked[i].size {
+				alloc[ranked[i].id]++
+				used++
+			}
+		}
+	}
+
+	// Members of each cluster sorted by distance to centroid (ties toward
+	// the earlier interval), so representatives are the most central —
+	// the SimPoint choice, which also empirically beats striding windows
+	// across each cluster's interval span on the 26-benchmark suite.
+	members := make([][]int, c.K)
+	for i, cid := range c.Assign {
+		members[cid] = append(members[cid], i)
+	}
+	var plan []Window
+	for cid, m := range members {
+		take := alloc[cid]
+		if take == 0 || len(m) == 0 {
+			continue
+		}
+		if take > len(m) {
+			take = len(m)
+		}
+		sort.SliceStable(m, func(i, j int) bool {
+			return dist2(sigs[m[i]], c.Centroids[cid]) < dist2(sigs[m[j]], c.Centroids[cid])
+		})
+		w := float64(c.Sizes[cid]) / float64(take)
+		for _, iv := range m[:take] {
+			plan = append(plan, Window{Interval: iv, Cluster: cid, Weight: w})
+		}
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].Interval < plan[j].Interval })
+	return plan
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

@@ -111,6 +111,11 @@ func Run(ctx context.Context, cfg Config) (Outcome, error) {
 	if pol.SegmentWindows > 0 {
 		return runSegmented(ctx, cfg, pol)
 	}
+	if pol.Schedule == SchedulePhase {
+		out, err := runPhase(ctx, cfg, pol)
+		out.TotalRefs = cfg.CPU.Snapshot().Refs
+		return out, err
+	}
 	out, err := runClassic(ctx, cfg, pol)
 	out.TotalRefs = cfg.CPU.Snapshot().Refs
 	return out, err

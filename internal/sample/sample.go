@@ -39,6 +39,25 @@ var (
 // far above any real core count, so a typo cannot spawn an absurd pool.
 const MaxParallelism = 64
 
+// SchedulePhase selects the phase-aware schedule: profile the trace into
+// per-interval signatures, cluster them (internal/phase), and spend the
+// detailed-window budget on cluster representatives weighted by cluster
+// mass. The empty Schedule keeps the legacy periodic placement.
+const SchedulePhase = "phase"
+
+// Bounds and defaults for the phase-schedule knobs.
+const (
+	// MaxPhaseIntervals caps Policy.PhaseIntervals.
+	MaxPhaseIntervals = 65536
+	// MaxPhaseK caps Policy.PhaseK.
+	MaxPhaseK = 64
+	// DefaultPhaseIntervals is the profiling interval count used when
+	// Policy.PhaseIntervals is zero.
+	DefaultPhaseIntervals = 64
+	// autoMaxPhaseK bounds BIC model selection when PhaseK is zero.
+	autoMaxPhaseK = 8
+)
+
 // Policy configures one sampled run. The zero value is invalid; start
 // from DefaultPolicy. Every field changes simulation behaviour and the
 // struct marshals deterministically, so a Policy embedded in sim.Options
@@ -95,6 +114,26 @@ type Policy struct {
 	// excluded from marshalling and parallel and sequential runs share
 	// result-cache keys.
 	Parallelism int `json:"-"`
+
+	// Schedule names the window-placement schedule: "" keeps the legacy
+	// periodic placement (fixed-period, or target-CI when TargetRelCI is
+	// set), SchedulePhase places windows on phase-cluster representatives
+	// chosen by profiling the trace (internal/phase). The field marshals,
+	// so phase-sampled runs have their own result-cache identity; legacy
+	// policies leave every phase field zero and keep their pre-phase
+	// cache keys byte-identical (all four fields are omitempty).
+	Schedule string `json:"schedule,omitempty"`
+	// PhaseIntervals is the number of equal profiling intervals the
+	// measure span is divided into for signature extraction
+	// (0 = DefaultPhaseIntervals). Phase schedule only.
+	PhaseIntervals int `json:"phase_intervals,omitempty"`
+	// PhaseK fixes the cluster count (0 = BIC model selection up to
+	// autoMaxPhaseK clusters). Phase schedule only.
+	PhaseK int `json:"phase_k,omitempty"`
+	// PhaseSeed seeds the signature projection and the k-means
+	// initialisation (0 = 1). Phase runs are fully deterministic for a
+	// given seed — no math/rand global state anywhere in the pipeline.
+	PhaseSeed uint64 `json:"phase_seed,omitempty"`
 }
 
 // DefaultPolicy returns the standard sampling configuration: 2K-reference
@@ -137,6 +176,31 @@ func (p *Policy) Validate() error {
 	if p.TargetRelCI > 0 && p.SegmentWindows > 0 {
 		return fmt.Errorf("sample: TargetRelCI is incompatible with SegmentWindows (early stop would depend on scheduling order)")
 	}
+	switch p.Schedule {
+	case "", SchedulePhase:
+	default:
+		return fmt.Errorf("sample: unknown schedule %q (accepted: \"\" | %q)", p.Schedule, SchedulePhase)
+	}
+	if p.Schedule != SchedulePhase && (p.PhaseIntervals != 0 || p.PhaseK != 0 || p.PhaseSeed != 0) {
+		return fmt.Errorf("sample: PhaseIntervals/PhaseK/PhaseSeed need Schedule %q", SchedulePhase)
+	}
+	if p.PhaseIntervals < 0 || p.PhaseIntervals == 1 || p.PhaseIntervals > MaxPhaseIntervals {
+		return fmt.Errorf("sample: PhaseIntervals %d out of range [2, %d] (or 0 for the default)", p.PhaseIntervals, MaxPhaseIntervals)
+	}
+	if p.PhaseK < 0 || p.PhaseK > MaxPhaseK {
+		return fmt.Errorf("sample: PhaseK %d out of range [0, %d]", p.PhaseK, MaxPhaseK)
+	}
+	if p.PhaseK > 0 && p.PhaseIntervals > 0 && p.PhaseK > p.PhaseIntervals {
+		return fmt.Errorf("sample: PhaseK %d > PhaseIntervals %d", p.PhaseK, p.PhaseIntervals)
+	}
+	if p.Schedule == SchedulePhase {
+		if p.TargetRelCI > 0 {
+			return fmt.Errorf("sample: TargetRelCI is incompatible with the phase schedule (the representative set is fixed before measurement)")
+		}
+		if p.SegmentWindows > 0 {
+			return fmt.Errorf("sample: SegmentWindows is incompatible with the phase schedule (windows sit on cluster representatives, not a periodic grid)")
+		}
+	}
 	return nil
 }
 
@@ -147,6 +211,14 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.MinWindows == 0 {
 		p.MinWindows = 8
+	}
+	if p.Schedule == SchedulePhase {
+		if p.PhaseIntervals == 0 {
+			p.PhaseIntervals = DefaultPhaseIntervals
+		}
+		if p.PhaseSeed == 0 {
+			p.PhaseSeed = 1
+		}
 	}
 	return p
 }
@@ -273,6 +345,133 @@ func (r *Ratio) Stat() Stat {
 	return st
 }
 
+// StratRatio extends Ratio to mass-weighted strata — the estimator the
+// phase schedule pools windows with. Each detailed window belongs to a
+// stratum (its phase cluster) and carries the interval mass it represents
+// (cluster size over windows allocated to the cluster); the pooled
+// estimate is the ratio of mass-weighted stratum means,
+//
+//	R = Σ_c M_c·ȳ_c / Σ_c M_c·x̄_c,  M_c = stratum mass actually measured,
+//
+// so a cluster covering half the run's intervals contributes half the
+// estimate no matter how many windows it received. The confidence
+// interval uses the stratified ratio-estimator variance over
+// within-stratum residuals d = y − R·x only,
+//
+//	Var(R) ≈ Σ_c M_c²·s²_{d,c}/n_c / (Σ_c M_c·x̄_c)²,
+//
+// which is the stratification win: between-phase variation — the dominant
+// term in the periodic schedule's CI — is carried by the weights instead
+// of the variance. Strata with a single window contribute zero variance
+// (the SimPoint homogeneity assumption: a cluster's intervals behave like
+// their representative); the reported interval is therefore a
+// within-phase CI, exact in the limit of perfectly homogeneous clusters.
+type StratRatio struct {
+	strata map[int]*stratum
+	order  []int // insertion-ordered stratum keys, for deterministic pooling
+}
+
+type stratum struct {
+	weight                float64 // interval mass per window
+	n                     int
+	sy, sx, syy, sxx, sxy float64
+}
+
+// Add records one window's numerator and denominator under the given
+// stratum, weighted by the interval mass the window represents.
+func (s *StratRatio) Add(strat int, weight, y, x float64) {
+	if s.strata == nil {
+		s.strata = make(map[int]*stratum)
+	}
+	st := s.strata[strat]
+	if st == nil {
+		st = &stratum{weight: weight}
+		s.strata[strat] = st
+		s.order = append(s.order, strat)
+	}
+	st.n++
+	st.sy += y
+	st.sx += x
+	st.syy += y * y
+	st.sxx += x * x
+	st.sxy += x * y
+}
+
+// N returns the total window count across strata.
+func (s *StratRatio) N() int {
+	n := 0
+	for _, st := range s.strata {
+		n += st.n
+	}
+	return n
+}
+
+// Stat renders the mass-weighted pooled ratio with its 95% confidence
+// interval. Strata are pooled in insertion order, so the result is a pure
+// function of the sample sequence.
+func (s *StratRatio) Stat() Stat {
+	var wy, wx float64
+	n := 0
+	for _, key := range s.order {
+		st := s.strata[key]
+		if st.n == 0 {
+			continue
+		}
+		n += st.n
+		m := st.weight * float64(st.n)
+		wy += m * st.sy / float64(st.n)
+		wx += m * st.sx / float64(st.n)
+	}
+	if n == 0 || wx == 0 {
+		return Stat{N: n}
+	}
+	R := wy / wx
+	st := Stat{Mean: R, CILow: R, CIHigh: R, N: n}
+	var varR float64
+	for _, key := range s.order {
+		str := s.strata[key]
+		if str.n < 2 {
+			continue
+		}
+		nn := float64(str.n)
+		sumD2 := str.syy - 2*R*str.sxy + R*R*str.sxx
+		dbar := (str.sy - R*str.sx) / nn
+		s2d := (sumD2 - nn*dbar*dbar) / (nn - 1)
+		if s2d < 0 {
+			s2d = 0 // floating-point cancellation on near-constant windows
+		}
+		m := str.weight * nn
+		varR += m * m * s2d / nn
+	}
+	varR /= wx * wx
+	half := z95 * math.Sqrt(varR)
+	// StdDev keeps Stat's field relationship half = z·sd/√n, so RelCI and
+	// downstream renderers treat both estimators uniformly.
+	st.StdDev = math.Sqrt(varR * float64(n))
+	st.CILow, st.CIHigh = R-half, R+half
+	return st
+}
+
+// PhaseSummary describes how a phase-scheduled run spent its budget,
+// surfaced as Estimate.Phase.
+type PhaseSummary struct {
+	// Intervals is the number of profiling intervals actually observed
+	// (fewer than Policy.PhaseIntervals when the stream ends early) and
+	// IntervalRefs their length in references.
+	Intervals    int    `json:"intervals"`
+	IntervalRefs uint64 `json:"interval_refs"`
+	// ProfiledRefs counts the references the signature pass consumed —
+	// a stream walk outside the simulation, so it is not in TotalRefs.
+	ProfiledRefs uint64 `json:"profiled_refs"`
+	// K is the cluster count used (chosen by BIC when Policy.PhaseK is
+	// zero) and Masses each cluster's interval count.
+	K      int   `json:"k"`
+	Masses []int `json:"masses"`
+	// RepWindows is the number of detailed windows measured on cluster
+	// representatives.
+	RepWindows int `json:"rep_windows"`
+}
+
 // Estimate is a sampled run's statistical summary, surfaced as
 // sim.Result.Estimate.
 type Estimate struct {
@@ -290,6 +489,9 @@ type Estimate struct {
 	// TargetMet reports whether a target-CI run stopped because it
 	// reached its target (false for fixed-period runs).
 	TargetMet bool `json:"target_met,omitempty"`
+	// Phase summarises the phase-aware schedule (nil for periodic
+	// schedules).
+	Phase *PhaseSummary `json:"phase,omitempty"`
 
 	IPC        Stat `json:"ipc"`
 	L1MissRate Stat `json:"l1_miss_rate"`

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"timekeeping/pkg/api"
+)
+
+// phaseRun is sampledRun on the phase schedule: 16 intervals of 3750 refs
+// each comfortably hold the detailed window, and the 60k measure span
+// affords a handful of representative windows.
+var phaseRun = api.RunRequest{
+	Bench:  "eon",
+	Warmup: 5000,
+	Refs:   60_000,
+	Sampling: &api.SamplingPolicy{
+		DetailedRefs:     1024,
+		WarmRefs:         8192,
+		DetailedWarmRefs: 256,
+		Schedule:         "phase",
+		PhaseIntervals:   16,
+	},
+}
+
+// TestPhaseRunEndpoint: a phase-scheduled request runs end to end, the
+// estimate view carries the phase summary, and the phase counters reach
+// /metrics.
+func TestPhaseRunEndpoint(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{})
+
+	j, err := cl.Run(context.Background(), phaseRun)
+	if err != nil {
+		t.Fatalf("phase run: %v", err)
+	}
+	if j.Status != api.StatusDone || j.Result == nil || j.Result.Estimate == nil {
+		t.Fatalf("phase run: %+v", j)
+	}
+	e := j.Result.Estimate
+	p := e.Phase
+	if p == nil {
+		t.Fatal("phase estimate view has no phase summary")
+	}
+	if p.Intervals != 16 || p.IntervalRefs != 3750 {
+		t.Fatalf("phase summary = %+v", p)
+	}
+	if p.K < 1 || len(p.Masses) != p.K || p.RepWindows != e.Windows {
+		t.Fatalf("phase summary = %+v (windows %d)", p, e.Windows)
+	}
+	if e.IPC.Mean <= 0 || e.IPC.CILow > e.IPC.Mean || e.IPC.CIHigh < e.IPC.Mean {
+		t.Fatalf("IPC estimate = %+v", e.IPC)
+	}
+
+	m := scrape(t, ts)
+	for _, name := range []string{
+		"sim_phase_intervals_total",
+		"sim_phase_clusters_total",
+		"sim_phase_rep_windows_total",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %q missing from /metrics", name)
+		}
+	}
+
+	// The same policy minus the schedule is a different result: the
+	// fixed-period run must miss the cache.
+	fixed := phaseRun
+	pol := *phaseRun.Sampling
+	pol.Schedule = ""
+	pol.PhaseIntervals = 0
+	fixed.Sampling = &pol
+	j2, err := cl.Run(context.Background(), fixed)
+	if err != nil {
+		t.Fatalf("fixed run: %v", err)
+	}
+	if j2.Cache != api.CacheMiss {
+		t.Fatalf("fixed run after phase run: cache = %q, want miss", j2.Cache)
+	}
+	if j2.Result.Estimate == nil || j2.Result.Estimate.Phase != nil {
+		t.Fatalf("fixed run estimate = %+v", j2.Result.Estimate)
+	}
+}
+
+// TestPhaseRunBadRequests: malformed phase knobs are bad_request with the
+// accepted values named, before any simulation starts.
+func TestPhaseRunBadRequests(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		mutate   func(*api.SamplingPolicy)
+		accepted string
+	}{
+		{"unknown schedule", func(p *api.SamplingPolicy) { p.Schedule = "simpoint" }, "phase"},
+		{"one interval", func(p *api.SamplingPolicy) { p.PhaseIntervals = 1 }, "2..65536"},
+		{"intervals too big", func(p *api.SamplingPolicy) { p.PhaseIntervals = 1 << 20 }, "2..65536"},
+		{"k too big", func(p *api.SamplingPolicy) { p.PhaseK = 1000 }, "1..64"},
+		{"negative k", func(p *api.SamplingPolicy) { p.PhaseK = -1 }, "1..64"},
+	}
+	for _, tc := range cases {
+		bad := phaseRun
+		pol := *phaseRun.Sampling
+		tc.mutate(&pol)
+		bad.Sampling = &pol
+		_, err := cl.Run(context.Background(), bad)
+		ae := apiError(t, err)
+		if ae.Code != api.CodeBadRequest || ae.HTTPStatus != http.StatusBadRequest {
+			t.Fatalf("%s: error = %+v", tc.name, ae)
+		}
+		found := false
+		for _, a := range ae.Accepted {
+			if a == tc.accepted {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: accepted = %v, want to include %q", tc.name, ae.Accepted, tc.accepted)
+		}
+	}
+
+	// Phase knobs without the phase schedule fail policy validation.
+	bad := phaseRun
+	pol := *phaseRun.Sampling
+	pol.Schedule = ""
+	bad.Sampling = &pol
+	if _, err := cl.Run(context.Background(), bad); apiError(t, err).Code != api.CodeBadRequest {
+		t.Fatalf("phase knobs without schedule: %v", err)
+	}
+}

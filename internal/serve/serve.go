@@ -306,6 +306,10 @@ func samplingPolicy(p *api.SamplingPolicy) *sample.Policy {
 		MaxWindows:       p.MaxWindows,
 		SegmentWindows:   p.SegmentWindows,
 		Parallelism:      p.Parallelism,
+		Schedule:         p.Schedule,
+		PhaseIntervals:   p.PhaseIntervals,
+		PhaseK:           p.PhaseK,
+		PhaseSeed:        p.PhaseSeed,
 	}
 }
 
@@ -320,6 +324,29 @@ func checkSampling(pol *sample.Policy, audit bool) *api.Error {
 			Code:     api.CodeBadRequest,
 			Message:  fmt.Sprintf("sampling.parallelism %d out of range", pol.Parallelism),
 			Accepted: []string{fmt.Sprintf("0..%d", sample.MaxParallelism)},
+		}
+	}
+	switch pol.Schedule {
+	case "", sample.SchedulePhase:
+	default:
+		return &api.Error{
+			Code:     api.CodeBadRequest,
+			Message:  fmt.Sprintf("sampling.schedule %q unknown", pol.Schedule),
+			Accepted: []string{"", sample.SchedulePhase},
+		}
+	}
+	if pol.PhaseIntervals < 0 || pol.PhaseIntervals == 1 || pol.PhaseIntervals > sample.MaxPhaseIntervals {
+		return &api.Error{
+			Code:     api.CodeBadRequest,
+			Message:  fmt.Sprintf("sampling.phase_intervals %d out of range", pol.PhaseIntervals),
+			Accepted: []string{"0 (default)", fmt.Sprintf("2..%d", sample.MaxPhaseIntervals)},
+		}
+	}
+	if pol.PhaseK < 0 || pol.PhaseK > sample.MaxPhaseK {
+		return &api.Error{
+			Code:     api.CodeBadRequest,
+			Message:  fmt.Sprintf("sampling.phase_k %d out of range", pol.PhaseK),
+			Accepted: []string{"0 (BIC model selection)", fmt.Sprintf("1..%d", sample.MaxPhaseK)},
 		}
 	}
 	if err := pol.Validate(); err != nil {

@@ -71,6 +71,16 @@ func resultView(r *sim.Result) *api.ResultView {
 			L1MissRate:   statEstimate(e.L1MissRate),
 			L2MissRate:   statEstimate(e.L2MissRate),
 		}
+		if p := e.Phase; p != nil {
+			v.Estimate.Phase = &api.PhaseView{
+				Intervals:    p.Intervals,
+				IntervalRefs: p.IntervalRefs,
+				ProfiledRefs: p.ProfiledRefs,
+				K:            p.K,
+				Masses:       p.Masses,
+				RepWindows:   p.RepWindows,
+			}
+		}
 	}
 	if t := r.Tracker; t != nil {
 		tv := &api.TrackerView{

@@ -680,6 +680,14 @@ func runReference(ctx context.Context, name string, stream trace.Stream, factory
 			scfg.SegmentStream = segmentStream(factory, opt)
 			scfg.NewInstance = newInstanceFactory(h, m, tracker, segs, opt)
 		}
+		if opt.Sampling.Schedule == sample.SchedulePhase {
+			// The phase schedule re-derives the stream for its profiling
+			// pass (signature extraction), then measures on the primary.
+			if factory == nil {
+				return Result{}, fmt.Errorf("sim: phase-aware sampling needs a re-derivable stream (workload-backed runs, or Spec.StreamFactory for explicit streams)")
+			}
+			scfg.SegmentStream = segmentStream(factory, opt)
+		}
 		out, err := sample.Run(ctx, scfg)
 		if err != nil {
 			return Result{}, err

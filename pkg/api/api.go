@@ -63,6 +63,20 @@ type SamplingPolicy struct {
 	// sequential; > 1 requires SegmentWindows > 0; max 64). Results are
 	// identical at every level, so it does not enter the cache key.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// Schedule selects the window-placement schedule: "" (periodic) or
+	// "phase" — profile the trace into interval signatures, cluster them,
+	// and measure cluster representatives weighted by interval mass.
+	// Changes results (and the result-cache key).
+	Schedule string `json:"schedule,omitempty"`
+	// PhaseIntervals is the profiling interval count for the phase
+	// schedule (0 = 64; accepted range [2, 65536]).
+	PhaseIntervals int `json:"phase_intervals,omitempty"`
+	// PhaseK fixes the phase cluster count (0 = BIC model selection;
+	// accepted range [0, 64], at most PhaseIntervals).
+	PhaseK int `json:"phase_k,omitempty"`
+	// PhaseSeed seeds the signature projection and clustering (0 = 1).
+	PhaseSeed uint64 `json:"phase_seed,omitempty"`
 }
 
 // RunRequest is the body of POST /v1/run. Zero-valued fields inherit the
@@ -255,6 +269,17 @@ type StatEstimate struct {
 	N      int     `json:"n"`
 }
 
+// PhaseView summarises a phase-scheduled run: the profiling geometry, the
+// clustering, and the representative-window budget.
+type PhaseView struct {
+	Intervals    int    `json:"intervals"`
+	IntervalRefs uint64 `json:"interval_refs"`
+	ProfiledRefs uint64 `json:"profiled_refs"`
+	K            int    `json:"k"`
+	Masses       []int  `json:"masses"`
+	RepWindows   int    `json:"rep_windows"`
+}
+
 // EstimateView summarises a sampled run: how the references split between
 // the functional and detailed paths, and the per-stat estimates.
 type EstimateView struct {
@@ -262,6 +287,8 @@ type EstimateView struct {
 	DetailedRefs uint64 `json:"detailed_refs"`
 	WarmRefs     uint64 `json:"warm_refs"`
 	TargetMet    bool   `json:"target_met,omitempty"`
+	// Phase is present only for phase-scheduled runs.
+	Phase *PhaseView `json:"phase,omitempty"`
 
 	IPC        StatEstimate `json:"ipc"`
 	L1MissRate StatEstimate `json:"l1_miss_rate"`
