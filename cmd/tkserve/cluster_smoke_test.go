@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -132,6 +133,105 @@ func TestClusterSmoke(t *testing.T) {
 	// other was proxied to it.
 	if (jA.Cache == api.CacheProxied) == (jB.Cache == api.CacheProxied) {
 		t.Errorf("cache outcomes A=%s B=%s: exactly one should be proxied", jA.Cache, jB.Cache)
+	}
+
+	// The headline trace assertion needs a request whose proxy hop
+	// triggers the computation — entry node = non-owner, cold key —
+	// otherwise the owner answers from its cache and the trace carries no
+	// simulate span. Ownership is per-key, so probe fresh keys (distinct
+	// Refs) until one lands on a non-owner: each try is a coin flip, and
+	// ten tries make exhaustion astronomically unlikely.
+	var traced *api.JobView
+	var entryURL string
+	for i := 0; i < 10 && traced == nil; i++ {
+		entryURL = urlA
+		if i%2 == 1 {
+			entryURL = urlB
+		}
+		j, err := api.NewClient(entryURL, nil).Run(ctx,
+			api.RunRequest{Bench: "eon", Warmup: 2000, Refs: 8100 + uint64(i)})
+		if err != nil {
+			t.Fatalf("trace probe %d via %s: %v", i, entryURL, err)
+		}
+		if j.Cache == api.CacheProxied {
+			traced = j
+		}
+	}
+	if traced == nil {
+		t.Fatal("no trace probe landed on a non-owner in 10 tries")
+	}
+
+	// That proxied request produced ONE distributed trace spanning both
+	// processes: entry-side ingress/queue/proxy spans plus the owner's
+	// resolve/probe/simulate/persist, all under one trace ID.
+	if len(traced.TraceID) != 32 || traced.Trace == nil {
+		t.Fatalf("proxied job carries no trace: id=%q", traced.TraceID)
+	}
+	nodes := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, sp := range traced.Trace.Spans {
+		nodes[sp.Node] = true
+		names[sp.Name] = true
+	}
+	if len(nodes) != 2 {
+		t.Errorf("trace spans %d nodes, want 2: %v", len(nodes), nodes)
+	}
+	for _, want := range []string{"ingress", "queue_wait", "proxy", "resolve", "probe_disk", "simulate", "persist"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span (have %v)", want, names)
+		}
+	}
+	// Persist the Chrome trace for CI artifact upload when asked.
+	if dir := os.Getenv("TRACE_ARTIFACT_DIR"); dir != "" {
+		resp, err := http.Get(entryURL + "/v1/jobs/" + traced.ID + "/trace")
+		if err != nil {
+			t.Fatalf("fetching trace artifact: %v", err)
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "cluster_trace.json"), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both nodes serve the aggregated fleet view with matching membership
+	// and a polled (or self) load report per peer; per-peer telemetry
+	// metrics are exposed alongside.
+	for _, base := range []string{urlA, urlB} {
+		st, err := api.NewClient(base, nil).ClusterStatus(ctx)
+		if err != nil {
+			t.Fatalf("cluster status from %s: %v", base, err)
+		}
+		if st.Self != base || len(st.Peers) != 2 {
+			t.Errorf("cluster status from %s = %+v", base, st)
+			continue
+		}
+		var shares float64
+		for _, p := range st.Peers {
+			shares += p.OwnershipShare
+			if p.Saturation < 0 || p.Saturation > 1 {
+				t.Errorf("peer %s saturation %g out of [0,1]", p.URL, p.Saturation)
+			}
+		}
+		if shares < 0.999 || shares > 1.001 {
+			t.Errorf("ownership shares from %s sum to %g, want 1", base, shares)
+		}
+	}
+	// The eon pair's entry node attributed its hop to the proxy stage
+	// histogram (mA/mB were scraped before the trace probes, so only the
+	// pair's single hop is in them).
+	entryM := mA
+	if jB.Cache == api.CacheProxied {
+		entryM = mB
+	}
+	if c := entryM[fmt.Sprintf("tkserve_stage_seconds_count{stage=%q}", "proxy")]; c < 1 {
+		t.Errorf("entry node proxy stage count = %g, want >= 1", c)
 	}
 }
 

@@ -51,11 +51,29 @@ import (
 	"syscall"
 	"time"
 
+	"timekeeping/internal/caps"
 	"timekeeping/internal/cluster"
 	"timekeeping/internal/serve"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/store"
 )
+
+// printVersion writes the binary's build identity (module version, VCS
+// revision, Go toolchain) from the embedded build info.
+func printVersion(name string) {
+	b := caps.Build()
+	ver, rev := b.Version, b.Revision
+	if ver == "" {
+		ver = "devel"
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	if b.Modified {
+		rev += "-dirty"
+	}
+	fmt.Printf("%s %s (revision %s, %s)\n", name, ver, rev, b.GoVersion)
+}
 
 func main() {
 	var (
@@ -75,8 +93,15 @@ func main() {
 		storeMax = flag.Int64("store-max-bytes", 0, "disk-tier size cap in bytes with LRU eviction (0 = unlimited)")
 		peers    = flag.String("peers", "", "comma-separated static peer URLs for sharded serving (requires -node-id)")
 		nodeID   = flag.String("node-id", "", "this node's own URL; must appear in -peers")
+		tracing  = flag.Bool("tracing", true, "record per-request distributed traces (GET /v1/jobs/{id}/trace)")
+		slowReq  = flag.Duration("slow-request", 0, "log a warning for jobs slower than this (0 = 10s, negative = off)")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		printVersion("tkserve")
+		return
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
@@ -141,15 +166,17 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Base:       base,
-		Workers:    *workers,
-		QueueDepth: *depth,
-		Pprof:      *pprof,
-		Events:     *events,
-		EventsCap:  *evCap,
-		Logger:     logger,
-		Store:      st,
-		Cluster:    cls,
+		Base:           base,
+		Workers:        *workers,
+		QueueDepth:     *depth,
+		Pprof:          *pprof,
+		Events:         *events,
+		EventsCap:      *evCap,
+		Logger:         logger,
+		Store:          st,
+		Cluster:        cls,
+		DisableTracing: !*tracing,
+		SlowRequest:    *slowReq,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -73,8 +73,25 @@ func main() {
 		engName  = flag.String("engine", "auto", "execution engine: auto | fast | reference")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file (pprof format)")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		b := caps.Build()
+		ver, rev := b.Version, b.Revision
+		if ver == "" {
+			ver = "devel"
+		}
+		if rev == "" {
+			rev = "unknown"
+		}
+		if b.Modified {
+			rev += "-dirty"
+		}
+		fmt.Printf("tksim %s (revision %s, %s)\n", ver, rev, b.GoVersion)
+		return
+	}
 
 	if *list {
 		for _, name := range caps.Local().Benches {

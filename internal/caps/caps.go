@@ -7,11 +7,39 @@
 package caps
 
 import (
+	"runtime/debug"
+	"sync"
+
 	"timekeeping/internal/experiments"
 	"timekeeping/internal/sim"
 	"timekeeping/internal/workload"
 	"timekeeping/pkg/api"
 )
+
+var buildOnce = sync.OnceValue(func() *api.BuildInfo {
+	b := &api.BuildInfo{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = info.GoVersion
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// Build identifies the running binary — module version, VCS revision and
+// Go toolchain from debug.ReadBuildInfo — for /v1/capabilities and the
+// CLI -version flags. The returned value is shared; treat it as
+// immutable.
+func Build() *api.BuildInfo { return buildOnce() }
 
 // Local returns this binary's capability inventory. The service-state
 // fields (Events, Store, Cluster) are left zero: they describe a running
@@ -23,6 +51,7 @@ func Local() api.Capabilities {
 		VictimFilters: asStrings(sim.VictimFilters()),
 		Prefetchers:   asStrings(sim.Prefetchers()),
 		Sampling:      true,
+		Build:         Build(),
 	}
 	c.Engines = append(c.Engines, asStrings(sim.Engines())...)
 	for _, e := range experiments.All() {

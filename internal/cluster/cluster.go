@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -54,12 +56,39 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// peerState tracks one remote peer's probed health.
+// Saturation scores a node's load on [0, 1] from its queue and worker
+// occupancy: busy workers dominate (weight 0.6) because running jobs are
+// committed capacity, queue fill contributes the rest (weight 0.4) as the
+// early-warning signal. A zero-capacity dimension counts as saturated the
+// moment anything occupies it, so misconfigured nodes read hot rather
+// than invisible.
+func Saturation(queued, queueCap, running, workers int) float64 {
+	fill := func(n, capacity int) float64 {
+		if capacity <= 0 {
+			if n > 0 {
+				return 1
+			}
+			return 0
+		}
+		f := float64(n) / float64(capacity)
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+	return 0.6*fill(running, workers) + 0.4*fill(queued, queueCap)
+}
+
+// peerState tracks one remote peer's probed health and last load report.
 type peerState struct {
 	up    bool
 	fails int
 	oks   int
 	gauge *obs.Gauge
+
+	load       api.LoadReport // last successfully decoded report
+	loadAt     time.Time      // zero until the first report lands
+	saturation float64        // derived from load; 1 while the peer is down
 }
 
 // Cluster is one node's view of the fleet: the ring, per-peer API
@@ -145,11 +174,23 @@ func New(cfg Config) (*Cluster, error) {
 		// beyond that the caller falls back to local compute.
 		cl.Retry = &api.RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.2}
 		c.clients[p] = cl
-		c.peers[p] = &peerState{
+		st := &peerState{
 			up:    true,
 			gauge: obs.Default.Gauge(fmt.Sprintf("cluster_peer_up{peer=%q}", p)),
 		}
-		c.peers[p].gauge.Set(1)
+		st.gauge.Set(1)
+		c.peers[p] = st
+		// Saturation is a render-time read of the last polled report, so
+		// the fleet's load picture is one /metrics scrape away.
+		peer := p
+		obs.Default.Func(fmt.Sprintf("cluster_peer_saturation{peer=%q}", peer), func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if st, ok := c.peers[peer]; ok {
+				return st.saturation
+			}
+			return 0
+		})
 	}
 	return c, nil
 }
@@ -213,16 +254,51 @@ func (c *Cluster) probeAll() {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			c.record(peer, c.probe(peer))
+			ok, rep := c.probe(peer)
+			c.record(peer, ok, rep)
 		}(peer)
 	}
 	wg.Wait()
 }
 
-// probe performs one health check against peer.
-func (c *Cluster) probe(peer string) bool {
+// probe performs one health check against peer: GET /v1/load, whose 200
+// doubles as the liveness signal and whose body is the peer's load
+// report. A live peer whose report fails to decode (a mid-upgrade node
+// running an older schema) still counts as up — health and telemetry
+// degrade independently. Falls back to /healthz on 404 so a mixed-version
+// fleet keeps its health signal during a rollout.
+func (c *Cluster) probe(peer string) (bool, *api.LoadReport) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
 	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/load", nil)
+	if err != nil {
+		return false, nil
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, nil
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rep api.LoadReport
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rep); err != nil {
+			return true, nil
+		}
+		return true, &rep
+	case http.StatusNotFound:
+		return c.probeHealthz(ctx, peer), nil
+	default:
+		return false, nil
+	}
+}
+
+// probeHealthz is the legacy liveness check, kept for peers that do not
+// serve /v1/load yet.
+func (c *Cluster) probeHealthz(ctx context.Context, peer string) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
 	if err != nil {
 		return false
@@ -236,13 +312,23 @@ func (c *Cluster) probe(peer string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// record folds one probe outcome into the peer's hysteresis counters.
-func (c *Cluster) record(peer string, ok bool) {
+// record folds one probe outcome into the peer's hysteresis counters and
+// stores its polled load report. Saturation is derived here — from the
+// raw queue/worker occupancy the peer reported, not the peer's own score,
+// so one side of a version skew cannot skew placement — and pinned to 1
+// while the peer is believed down (an unreachable peer has no usable
+// capacity).
+func (c *Cluster) record(peer string, ok bool, rep *api.LoadReport) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.peers[peer]
 	if st == nil {
 		return
+	}
+	if rep != nil {
+		st.load = *rep
+		st.loadAt = time.Now()
+		st.saturation = Saturation(rep.QueueDepth, rep.QueueCapacity, rep.Running, rep.Workers)
 	}
 	if ok {
 		st.fails, st.oks = 0, st.oks+1
@@ -255,8 +341,41 @@ func (c *Cluster) record(peer string, ok bool) {
 		st.oks, st.fails = 0, st.fails+1
 		if st.up && st.fails >= c.failAfter {
 			st.up = false
+			st.saturation = 1
 			st.gauge.Set(0)
 			c.log.Warn("cluster: peer down", "peer", peer, "consecutive_failures", st.fails)
 		}
 	}
+}
+
+// Status aggregates the node's fleet view: every ring peer with its
+// probed health, cluster-derived saturation, ring ownership share, and
+// last polled load report. self is this node's own report (it is not
+// probed over the network).
+func (c *Cluster) Status(self api.LoadReport) api.ClusterStatus {
+	shares := c.ring.Shares()
+	peers := c.ring.Peers()
+	sort.Strings(peers)
+	out := api.ClusterStatus{Self: c.self, Peers: make([]api.PeerStatus, 0, len(peers))}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range peers {
+		ps := api.PeerStatus{URL: p, OwnershipShare: shares[p]}
+		if p == c.self {
+			ps.Self = true
+			ps.Up = true
+			ps.Saturation = self.Saturation
+			rep := self
+			ps.Load = &rep
+		} else if st, ok := c.peers[p]; ok {
+			ps.Up = st.up
+			ps.Saturation = st.saturation
+			if !st.loadAt.IsZero() {
+				rep := st.load
+				ps.Load = &rep
+			}
+		}
+		out.Peers = append(out.Peers, ps)
+	}
+	return out
 }

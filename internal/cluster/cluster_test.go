@@ -1,28 +1,57 @@
 package cluster
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"timekeeping/pkg/api"
 )
 
-// healthServer is an httptest server whose /healthz can be switched
-// between healthy and failing.
+// healthServer is an httptest server whose probe endpoints (/v1/load and
+// the legacy /healthz) can be switched between healthy and failing. When
+// healthy, /v1/load answers a fixed LoadReport.
 func healthServer(t *testing.T) (*httptest.Server, *atomic.Bool) {
 	t.Helper()
 	var healthy atomic.Bool
 	healthy.Store(true)
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/healthz" || !healthy.Load() {
+		if !healthy.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/load":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(api.LoadReport{
+				Node: "test", QueueDepth: 1, QueueCapacity: 4, Running: 1, Workers: 2,
+			})
+		case "/healthz":
+			w.Write([]byte("ok"))
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &healthy
+}
+
+// newLegacyHealthServer serves only the legacy /healthz (404 elsewhere),
+// modeling a pre-telemetry peer during a rolling upgrade.
+func newLegacyHealthServer(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			w.WriteHeader(http.StatusNotFound)
 			return
 		}
 		w.Write([]byte("ok"))
 	}))
 	t.Cleanup(ts.Close)
-	return ts, &healthy
+	return ts.URL
 }
 
 func newTestCluster(t *testing.T, self string, peers []string) *Cluster {

@@ -78,6 +78,28 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].peer
 }
 
+// Shares returns each peer's ownership share: the fraction of the
+// 2^64 keyspace whose keys it owns, from the arc lengths ending at its
+// virtual nodes. Shares sum to 1 (within float rounding).
+func (r *Ring) Shares() map[string]float64 {
+	shares := make(map[string]float64, len(r.peers))
+	if len(r.points) == 0 {
+		return shares
+	}
+	if len(r.points) == 1 {
+		shares[r.points[0].peer] = 1
+		return shares
+	}
+	const span = float64(1<<63) * 2 // 2^64 as a float
+	prev := r.points[len(r.points)-1].hash
+	for _, pt := range r.points {
+		arc := pt.hash - prev // uint64 subtraction wraps correctly across 0
+		shares[pt.peer] += float64(arc) / span
+		prev = pt.hash
+	}
+	return shares
+}
+
 // hash64 maps a string uniformly onto the ring's keyspace.
 func hash64(s string) uint64 {
 	sum := sha256.Sum256([]byte(s))

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"timekeeping/pkg/api"
+)
+
+// TestHysteresisFlapping drives record() directly with probe-outcome
+// sequences and checks the 2/2 hysteresis state machine: a flapping peer
+// (alternating outcomes) never transitions, and only sustained runs of
+// FailAfter/RecoverAfter consecutive outcomes flip the state.
+func TestHysteresisFlapping(t *testing.T) {
+	const peer = "http://peer:1"
+	cases := []struct {
+		name    string
+		outcome []bool // probe outcomes, oldest first; peer starts up
+		up      bool   // expected final state
+	}{
+		{"no probes stays up", nil, true},
+		{"single failure stays up", []bool{false}, true},
+		{"two failures mark down", []bool{false, false}, false},
+		{"strict alternation never goes down", []bool{false, true, false, true, false, true, false, true}, true},
+		{"failure streak broken then rebuilt", []bool{false, true, false, false}, false},
+		{"down peer: one success not enough", []bool{false, false, true}, false},
+		{"down peer: two successes recover", []bool{false, false, true, true}, true},
+		{"down peer flapping stays down", []bool{false, false, true, false, true, false, true, false}, false},
+		{"recover then fail again", []bool{false, false, true, true, false, false}, false},
+		{"long healthy run stays up", []bool{true, true, true, true, true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(Config{
+				Self:         "http://self:1",
+				Peers:        []string{"http://self:1", peer},
+				FailAfter:    2,
+				RecoverAfter: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(c.Close)
+			for _, ok := range tc.outcome {
+				c.record(peer, ok, nil)
+			}
+			if got := c.Healthy(peer); got != tc.up {
+				t.Fatalf("after %v: healthy = %v, want %v", tc.outcome, got, tc.up)
+			}
+		})
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSaturationEdges pins the score at the boundaries: zero-capacity
+// dimensions, empty nodes, overload clamping.
+func TestSaturationEdges(t *testing.T) {
+	cases := []struct {
+		name                               string
+		queued, queueCap, running, workers int
+		want                               float64
+	}{
+		{"idle node", 0, 64, 0, 4, 0},
+		{"fully busy, empty queue", 0, 64, 4, 4, 0.6},
+		{"full queue, idle workers", 64, 64, 0, 4, 0.4},
+		{"fully saturated", 64, 64, 4, 4, 1},
+		{"overload clamps to 1", 200, 64, 9, 4, 1},
+		{"half busy", 0, 64, 2, 4, 0.3},
+		{"zero-capacity queue, empty", 0, 0, 0, 4, 0},
+		{"zero-capacity queue, occupied", 1, 0, 0, 4, 0.4},
+		{"zero workers, idle", 0, 64, 0, 0, 0},
+		{"zero workers, running", 0, 64, 1, 0, 0.6},
+		{"all dimensions zero", 0, 0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Saturation(tc.queued, tc.queueCap, tc.running, tc.workers)
+			if !almostEq(got, tc.want) {
+				t.Fatalf("Saturation(%d,%d,%d,%d) = %g, want %g",
+					tc.queued, tc.queueCap, tc.running, tc.workers, got, tc.want)
+			}
+			if got < 0 || got > 1 {
+				t.Fatalf("score %g out of [0,1]", got)
+			}
+		})
+	}
+}
+
+// TestStatusSingleNode covers the smallest fleet: one peer owning the
+// whole ring.
+func TestStatusSingleNode(t *testing.T) {
+	self := "http://only:1"
+	c, err := New(Config{Self: self, Peers: []string{self}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	st := c.Status(api.LoadReport{Node: self, Saturation: 0.25})
+	if st.Self != self || len(st.Peers) != 1 {
+		t.Fatalf("status = %+v, want one self peer", st)
+	}
+	p := st.Peers[0]
+	if !p.Self || !p.Up || !almostEq(p.OwnershipShare, 1) || !almostEq(p.Saturation, 0.25) || p.Load == nil {
+		t.Fatalf("self peer row = %+v", p)
+	}
+}
+
+// TestStatusAllPeersDown: every remote peer marked down reads saturation
+// 1 (no usable capacity) while self stays up.
+func TestStatusAllPeersDown(t *testing.T) {
+	self := "http://a:1"
+	peers := []string{self, "http://b:1", "http://c:1"}
+	c, err := New(Config{Self: self, Peers: peers, FailAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.record("http://b:1", false, nil)
+	c.record("http://c:1", false, nil)
+
+	st := c.Status(api.LoadReport{Node: self})
+	if len(st.Peers) != 3 {
+		t.Fatalf("got %d peers, want 3", len(st.Peers))
+	}
+	var shareSum float64
+	for _, p := range st.Peers {
+		shareSum += p.OwnershipShare
+		if p.Self {
+			if !p.Up {
+				t.Fatal("self reported down")
+			}
+			continue
+		}
+		if p.Up {
+			t.Fatalf("remote peer %s still up", p.URL)
+		}
+		if !almostEq(p.Saturation, 1) {
+			t.Fatalf("down peer %s saturation = %g, want 1", p.URL, p.Saturation)
+		}
+		if p.Load != nil {
+			t.Fatalf("down unpolled peer %s carries a load report", p.URL)
+		}
+	}
+	if !almostEq(shareSum, 1) {
+		t.Fatalf("ownership shares sum to %g, want 1", shareSum)
+	}
+}
+
+// TestStatusCarriesPolledLoad: a recorded report shows up in the fleet
+// view with cluster-derived saturation.
+func TestStatusCarriesPolledLoad(t *testing.T) {
+	self := "http://a:1"
+	peer := "http://b:1"
+	c, err := New(Config{Self: self, Peers: []string{self, peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.record(peer, true, &api.LoadReport{
+		Node: peer, QueueDepth: 32, QueueCapacity: 64, Running: 2, Workers: 4,
+		// A lying self-score: the cluster must derive its own.
+		Saturation: 0,
+	})
+	st := c.Status(api.LoadReport{Node: self})
+	for _, p := range st.Peers {
+		if p.URL != peer {
+			continue
+		}
+		if p.Load == nil || p.Load.QueueDepth != 32 {
+			t.Fatalf("peer load not carried: %+v", p.Load)
+		}
+		// 0.6*(2/4) + 0.4*(32/64) = 0.5, derived from the raw occupancy.
+		if !almostEq(p.Saturation, 0.5) {
+			t.Fatalf("derived saturation = %g, want 0.5", p.Saturation)
+		}
+		return
+	}
+	t.Fatalf("peer %s missing from status", peer)
+}
+
+// TestRingShares: shares are positive, sum to 1, and stay near-even for
+// the default vnode count.
+func TestRingShares(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	var sum float64
+	for _, p := range peers {
+		s := shares[p]
+		if s <= 0 {
+			t.Fatalf("peer %s share %g, want > 0", p, s)
+		}
+		// 128 vnodes keeps the split within a few percent of even; 2x is
+		// a loose, stable bound.
+		if s < 0.125 || s > 0.5 {
+			t.Fatalf("peer %s share %g implausibly uneven", p, s)
+		}
+		sum += s
+	}
+	if !almostEq(sum, 1) {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+}
+
+// TestProbePollsLoad: the background prober decodes a peer's /v1/load
+// body and Status reflects it.
+func TestProbePollsLoad(t *testing.T) {
+	ts, _ := healthServer(t)
+	self := "http://self.invalid:1"
+	c := newTestCluster(t, self, []string{self, ts.URL})
+	c.Start()
+	waitFor(t, "load report polled", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return !c.peers[ts.URL].loadAt.IsZero()
+	})
+	st := c.Status(api.LoadReport{Node: self})
+	for _, p := range st.Peers {
+		if p.URL != ts.URL {
+			continue
+		}
+		if !p.Up || p.Load == nil || p.Load.Workers != 2 {
+			t.Fatalf("polled peer row = %+v", p)
+		}
+		// healthServer reports queued 1/4, running 1/2: 0.6*0.5+0.4*0.25.
+		if !almostEq(p.Saturation, 0.4) {
+			t.Fatalf("polled saturation = %g, want 0.4", p.Saturation)
+		}
+		return
+	}
+	t.Fatalf("probed peer missing from status")
+}
+
+// TestHealthzFallback: a peer serving only the legacy /healthz (no
+// /v1/load) still reads healthy.
+func TestHealthzFallback(t *testing.T) {
+	ts := newLegacyHealthServer(t)
+	self := "http://self.invalid:1"
+	c := newTestCluster(t, self, []string{self, ts})
+	c.Start()
+	// Stay up across several probe rounds.
+	time.Sleep(60 * time.Millisecond)
+	if !c.Healthy(ts) {
+		t.Fatal("legacy /healthz-only peer marked down")
+	}
+}

@@ -233,3 +233,108 @@ func TestHotPathAllocationFree(t *testing.T) {
 		t.Fatalf("hot-path metric updates allocate %.1f times per op", n)
 	}
 }
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.5, 1, 2})
+	for _, v := range []float64{0.1, 0.6, 1.5, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("snapshot count = %d, want 4", s.Count)
+	}
+	if got, want := s.Sum, 12.2; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("snapshot sum = %g, want %g", got, want)
+	}
+	wantCounts := []uint64{1, 1, 1, 1}
+	for i, n := range wantCounts {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d count = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	var nilH *Histogram
+	if s := nilH.Snapshot(); s.Count != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram snapshot/quantile not zero")
+	}
+}
+
+func TestHistogramQuantileKnownDistributions(t *testing.T) {
+	r := NewRegistry()
+
+	// Uniform over (0, 100]: 100 observations, one per unit bucket-span
+	// of a 10-bucket histogram. Every quantile interpolates to ~100q.
+	u := r.Histogram("uniform", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 1; i <= 100; i++ {
+		u.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 1},
+		{0.9, 90, 1},
+		{0.99, 99, 1},
+		{0.1, 10, 1},
+		{0, 0, 0.11},
+		{1, 100, 0.001},
+	} {
+		if got := u.Quantile(tc.q); got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Errorf("uniform q=%g: got %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+
+	// Bimodal: 90 fast observations in (0, 1], 10 slow in (9, 10]. p50
+	// sits in the fast mode, p99 in the slow mode.
+	b := r.Histogram("bimodal", []float64{1, 2, 9, 10})
+	for i := 0; i < 90; i++ {
+		b.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(9.5)
+	}
+	if got := b.Quantile(0.5); got <= 0 || got > 1 {
+		t.Errorf("bimodal p50 = %g, want in (0, 1]", got)
+	}
+	if got := b.Quantile(0.99); got <= 9 || got > 10 {
+		t.Errorf("bimodal p99 = %g, want in (9, 10]", got)
+	}
+
+	// Everything beyond the last bound: the estimate clamps to the last
+	// finite bound rather than inventing resolution.
+	inf := r.Histogram("overflow", []float64{1, 2})
+	for i := 0; i < 5; i++ {
+		inf.Observe(100)
+	}
+	if got := inf.Quantile(0.5); got != 2 {
+		t.Errorf("overflow p50 = %g, want 2 (last finite bound)", got)
+	}
+
+	// Out-of-range q clamps.
+	if got := u.Quantile(-1); got != u.Quantile(0) {
+		t.Errorf("q=-1 -> %g, want clamp to q=0", got)
+	}
+	if got := u.Quantile(2); got != u.Quantile(1) {
+		t.Errorf("q=2 -> %g, want clamp to q=1", got)
+	}
+}
+
+func TestLabeledHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`stage_seconds{stage="resolve"}`, []float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`stage_seconds_bucket{stage="resolve",le="0.5"} 1`,
+		`stage_seconds_bucket{stage="resolve",le="1"} 1`,
+		`stage_seconds_bucket{stage="resolve",le="+Inf"} 2`,
+		`stage_seconds_sum{stage="resolve"} 2.3`,
+		`stage_seconds_count{stage="resolve"} 2`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("labeled rendering missing %q:\n%s", line, out)
+		}
+	}
+}

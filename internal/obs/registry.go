@@ -127,6 +127,92 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// HistSnapshot is a point-in-time copy of a histogram's state: total
+// count and sum plus the per-bucket (non-cumulative) counts. Counts has
+// len(Bounds)+1 entries; the last is the implicit +Inf bucket.
+type HistSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Bounds []float64
+	Counts []uint64
+}
+
+// Snapshot copies the histogram's counters. Buckets are loaded
+// individually (no global lock), so a snapshot taken during concurrent
+// observation is approximate to within the in-flight observations —
+// exactly the tolerance a latency report needs.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bucket containing the target rank — the same estimate
+// Prometheus's histogram_quantile computes. The first bucket interpolates
+// from zero; ranks landing in the +Inf bucket return the last finite
+// bound (the estimate cannot exceed what the histogram resolved). An
+// empty or nil histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-quantile from a snapshot; see
+// Histogram.Quantile.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == len(s.Counts)-1 {
+			if i >= len(s.Bounds) {
+				// +Inf bucket: unresolved above the last finite bound.
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return 0
+}
+
 // metric is one registered entry.
 type metric struct {
 	counter *Counter
@@ -284,22 +370,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram renders the cumulative _bucket series plus _sum/_count.
+// A name registered with labels ('tkserve_stage_seconds{stage="resolve"}')
+// splices the le label inside the existing brace set and appends the
+// _bucket/_sum/_count suffix to the bare name, so labeled histograms
+// render valid exposition lines.
 func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		base, labels = name[:i], name[i+1:len(name)-1]
+	}
+	bucket := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+	}
+	series := func(suffix string) string {
+		if labels == "" {
+			return base + suffix
+		}
+		return fmt.Sprintf("%s%s{%s}", base, suffix, labels)
+	}
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += h.buckets[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucket(formatFloat(bound)), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.buckets[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %s\n", series("_sum"), formatFloat(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	_, err := fmt.Fprintf(w, "%s %d\n", series("_count"), h.Count())
 	return err
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"timekeeping/internal/events"
 	"timekeeping/internal/obs"
+	"timekeeping/internal/telemetry"
 	"timekeeping/pkg/api"
 )
 
@@ -26,6 +27,11 @@ type job struct {
 	snap   api.JobView
 	prog   *obs.Progress
 	events *events.Sink // immutable after submit; nil unless capture was requested
+	// trace is the request's distributed span timeline (nil when tracing
+	// is disabled); rid the correlating request ID, forwarded on proxy
+	// hops. Both immutable after submit.
+	trace  *telemetry.Trace
+	rid    string
 	ctx    context.Context
 	cancel context.CancelFunc
 	run    func(ctx context.Context, j *job) error
@@ -47,6 +53,10 @@ type manager struct {
 	reg  *obs.Registry
 	wall *obs.Histogram
 	log  *slog.Logger
+	// srv points back at the owning server for the telemetry hooks
+	// (queue-wait stage attribution, slow-request logging). Nil in tests
+	// that drive the manager bare.
+	srv *Server
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -58,7 +68,7 @@ type manager struct {
 	nDone, nFailed, nCanceled uint64
 }
 
-func newManager(workers, depth int, reg *obs.Registry, log *slog.Logger) *manager {
+func newManager(workers, depth int, reg *obs.Registry, log *slog.Logger, srv *Server) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		queue:      make(chan *job, depth),
@@ -67,6 +77,7 @@ func newManager(workers, depth int, reg *obs.Registry, log *slog.Logger) *manage
 		reg:        reg,
 		wall:       reg.Histogram("tkserve_job_wall_seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}),
 		log:        log,
+		srv:        srv,
 		jobs:       make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
@@ -79,8 +90,11 @@ func newManager(workers, depth int, reg *obs.Registry, log *slog.Logger) *manage
 // submit registers and enqueues a job whose work is fn. parent is the
 // context the job's own context derives from: the HTTP request context
 // for synchronous jobs, nil for async jobs (detached; cancelled via
-// cancelJob or shutdown). sink, when non-nil, is the job's event capture.
-func (m *manager) submit(kind, target string, parent context.Context, sink *events.Sink, fn func(context.Context, *job) error) (*job, error) {
+// cancelJob or shutdown). sink, when non-nil, is the job's event capture;
+// tr, when non-nil, is the request's trace (the job records queue-wait
+// and work-stage spans into it); rid correlates the job with its request
+// log lines and proxy hops.
+func (m *manager) submit(kind, target string, parent context.Context, sink *events.Sink, tr *telemetry.Trace, rid string, fn func(context.Context, *job) error) (*job, error) {
 	if parent == nil {
 		parent = m.baseCtx
 	}
@@ -88,6 +102,8 @@ func (m *manager) submit(kind, target string, parent context.Context, sink *even
 	j := &job{
 		prog:   new(obs.Progress),
 		events: sink,
+		trace:  tr,
+		rid:    rid,
 		ctx:    ctx,
 		cancel: cancel,
 		run:    fn,
@@ -150,7 +166,12 @@ func (m *manager) worker() {
 		now := time.Now()
 		j.snap.Status = api.StatusRunning
 		j.snap.StartedAt = &now
+		submitted := j.snap.SubmittedAt
 		m.mu.Unlock()
+		j.trace.Span("queue_wait", submitted, now)
+		if m.srv != nil {
+			m.srv.observeStage(stageQueueWait, now.Sub(submitted))
+		}
 		m.log.Info("job started", "job_id", j.snap.ID, "kind", j.snap.Kind, "target", j.snap.Target)
 
 		err := m.exec(j)
@@ -186,6 +207,9 @@ func (m *manager) worker() {
 			m.log.Info("job finished", "job_id", snap.ID, "status", string(snap.Status), "wall_ms", snap.WallMS)
 		}
 		m.wall.Observe(snap.WallMS / 1000)
+		if m.srv != nil {
+			m.srv.maybeLogSlow(j, snap, fin.Sub(snap.SubmittedAt))
+		}
 		// The live gauges end with the run; history stays in the job table.
 		m.reg.Unregister(jobGaugeName("refs_done", snap))
 		m.reg.Unregister(jobGaugeName("refs_expected", snap))
@@ -236,6 +260,10 @@ func (m *manager) snapshot(j *job) api.JobView {
 		RefsDone:     ps.Done,
 		RefsExpected: ps.Expected,
 		RefsPerSec:   ps.RefsPerSec,
+	}
+	if j.trace != nil {
+		snap.TraceID = j.trace.TraceID()
+		snap.Trace = traceView(j)
 	}
 	return snap
 }

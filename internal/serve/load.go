@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"timekeeping/internal/cluster"
+	"timekeeping/pkg/api"
+)
+
+// loadReport assembles this node's load snapshot — the body of GET
+// /v1/load, which peers poll on the health-probe loop, and the self row
+// of /v1/cluster/status.
+func (s *Server) loadReport() api.LoadReport {
+	queued, running, _, _, _ := s.mgr.counters()
+	cs := s.cache.Stats()
+	rep := api.LoadReport{
+		Node:          s.node,
+		QueueDepth:    queued,
+		QueueCapacity: s.queueCap,
+		Running:       running,
+		Workers:       s.workers,
+		InflightRuns:  cs.Inflight,
+		UptimeSeconds: time.Since(s.startAt).Seconds(),
+		RefsTotal:     cs.Refs,
+		RefsPerSec:    s.refsRate(cs.Refs),
+		Saturation:    cluster.Saturation(queued, s.queueCap, running, s.workers),
+		Stages:        s.stageLatencies(),
+	}
+	if total := cs.Hits + cs.Misses + cs.DiskHits + cs.Joined; total > 0 {
+		rep.MemHitRatio = float64(cs.Hits) / float64(total)
+		rep.DiskHitRatio = float64(cs.DiskHits) / float64(total)
+	}
+	nProxied := s.nProxied.Load()
+	if routed := nProxied + s.nLocal.Load() + s.nFallback.Load(); routed > 0 {
+		rep.ProxiedRatio = float64(nProxied) / float64(routed)
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		rep.StoreEntries = st.Entries
+		rep.StoreBytes = st.Bytes
+	}
+	return rep
+}
+
+// refsRate estimates the node's current simulation throughput in
+// references/second from the cumulative counter, re-sampled at most every
+// quarter second so back-to-back polls do not divide by near-zero
+// intervals. The first call reports the lifetime average.
+func (s *Server) refsRate(refs uint64) float64 {
+	s.rateMu.Lock()
+	defer s.rateMu.Unlock()
+	now := time.Now()
+	if s.lastRateAt.IsZero() {
+		s.lastRateAt, s.lastRefs = now, refs
+		if up := now.Sub(s.startAt).Seconds(); up > 0 {
+			s.lastRate = float64(refs) / up
+		}
+		return s.lastRate
+	}
+	if dt := now.Sub(s.lastRateAt).Seconds(); dt >= 0.25 {
+		s.lastRate = float64(refs-s.lastRefs) / dt
+		s.lastRateAt, s.lastRefs = now, refs
+	}
+	return s.lastRate
+}
+
+// stageLatencies summarizes each stage histogram (count, p50, p99) for
+// the load report. Stages with no observations are omitted.
+func (s *Server) stageLatencies() map[string]api.StageLatency {
+	out := make(map[string]api.StageLatency)
+	for name, h := range s.stageHists {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		out[name] = api.StageLatency{
+			Count: snap.Count,
+			P50:   snap.Quantile(0.50),
+			P99:   snap.Quantile(0.99),
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// handleLoad serves this node's load report. Its 200 doubles as the
+// cluster liveness signal: the prober treats a well-formed answer as a
+// healthy peer and folds the body into the fleet's saturation picture.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.loadReport())
+}
+
+// handleClusterStatus serves the aggregated fleet view: every ring peer
+// with health, cluster-derived saturation, ring ownership share, and last
+// polled load. A single-node server (no cluster configured) answers a
+// one-peer fleet owning the whole ring, so clients need no special case.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	self := s.loadReport()
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, api.ClusterStatus{
+			Self: s.node,
+			Peers: []api.PeerStatus{{
+				URL:            s.node,
+				Self:           true,
+				Up:             true,
+				Saturation:     self.Saturation,
+				OwnershipShare: 1,
+				Load:           &self,
+			}},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Status(self))
+}

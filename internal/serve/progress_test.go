@@ -190,6 +190,18 @@ func TestMetricsNames(t *testing.T) {
 		fmt.Sprintf("tkserve_job_refs_done{id=%q,target=%q}", j.ID, "mcf"),
 		fmt.Sprintf("tkserve_job_refs_expected{id=%q,target=%q}", j.ID, "mcf"),
 	}
+	// Per-stage latency histograms: every canonical stage is registered up
+	// front, so all appear (at zero) before any traffic.
+	for _, stage := range []string{
+		"ingress", "validate", "queue_wait", "resolve",
+		"probe_disk", "simulate", "persist", "proxy", "respond",
+	} {
+		golden = append(golden,
+			fmt.Sprintf("tkserve_stage_seconds_sum{stage=%q}", stage),
+			fmt.Sprintf("tkserve_stage_seconds_count{stage=%q}", stage),
+			fmt.Sprintf("tkserve_stage_seconds_bucket{stage=%q,le=\"+Inf\"}", stage),
+		)
+	}
 	for _, name := range golden {
 		if _, ok := m[name]; !ok {
 			t.Errorf("metric %q missing from /metrics", name)

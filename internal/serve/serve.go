@@ -18,10 +18,21 @@
 //	GET    /v1/jobs/{id}             job status + result
 //	GET    /v1/jobs/{id}/progress    SSE stream of progress snapshots
 //	GET    /v1/jobs/{id}/events      download the job's generation-event trace
+//	GET    /v1/jobs/{id}/trace       download the request's distributed trace
 //	DELETE /v1/jobs/{id}             cancel a job
+//	GET    /v1/load                  this node's load report (doubles as cluster liveness)
+//	GET    /v1/cluster/status        aggregated fleet view (ring, health, saturation)
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus-style text metrics (obs registry)
 //	GET    /debug/pprof/*            profiling (only with Config.Pprof)
+//
+// Telemetry: every request carries a request ID (the inbound X-Request-Id
+// when present, minted otherwise) on its log lines, and run/experiment
+// requests get a distributed trace — W3C-traceparent IDs joined across
+// proxy hops, per-stage spans (validate, queue wait, disk probe,
+// simulate, persist, proxy, respond), exported by /v1/jobs/{id}/trace.
+// Stage latencies also feed the tkserve_stage_seconds histograms whether
+// or not tracing is on.
 package serve
 
 import (
@@ -34,6 +45,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +58,7 @@ import (
 	"timekeeping/internal/sim"
 	"timekeeping/internal/simcache"
 	"timekeeping/internal/store"
+	"timekeeping/internal/telemetry"
 	"timekeeping/internal/workload"
 	"timekeeping/pkg/api"
 )
@@ -87,6 +100,17 @@ type Config struct {
 	// Logger receives structured request and job lifecycle logs (nil:
 	// logging disabled).
 	Logger *slog.Logger
+	// Node labels this node's spans and load report. Empty: the cluster
+	// self URL when clustered, else "local".
+	Node string
+	// DisableTracing turns off distributed trace recording (the zero
+	// value keeps tracing on; its overhead is a few span appends per
+	// request). Stage histograms stay on either way.
+	DisableTracing bool
+	// SlowRequest is the job wall-time threshold above which one warning
+	// log line names the trace and its dominant stage (0: 10s; negative:
+	// disabled).
+	SlowRequest time.Duration
 }
 
 // Server is one tkserve instance. Create with New; serve s.Handler().
@@ -102,6 +126,26 @@ type Server struct {
 	events    bool
 	eventsCap int
 	reqSeq    atomic.Uint64
+
+	// Telemetry plane (see telemetry.go, load.go).
+	node       string
+	tracing    bool
+	slowReq    time.Duration
+	startAt    time.Time
+	workers    int
+	queueCap   int
+	stageHists map[string]*obs.Histogram // immutable after New
+
+	// Routing-outcome counters for this server's ProxiedRatio; the
+	// process-wide cluster.M* counters would mix nodes in in-process
+	// fleet tests.
+	nProxied, nLocal, nFallback atomic.Uint64
+
+	// refsRate sampling state (load.go).
+	rateMu     sync.Mutex
+	lastRateAt time.Time
+	lastRefs   uint64
+	lastRate   float64
 }
 
 // New builds a Server and starts its worker pool.
@@ -126,6 +170,16 @@ func New(cfg Config) *Server {
 	if cfg.Store != nil {
 		cfg.Cache.SetTier(cfg.Store)
 	}
+	if cfg.Node == "" {
+		if cfg.Cluster != nil {
+			cfg.Node = cfg.Cluster.Self()
+		} else {
+			cfg.Node = "local"
+		}
+	}
+	if cfg.SlowRequest == 0 {
+		cfg.SlowRequest = 10 * time.Second
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
 		base:      cfg.Base,
@@ -133,11 +187,18 @@ func New(cfg Config) *Server {
 		store:     cfg.Store,
 		cluster:   cfg.Cluster,
 		reg:       reg,
-		mgr:       newManager(cfg.Workers, cfg.QueueDepth, reg, cfg.Logger),
 		log:       cfg.Logger,
 		events:    cfg.Events,
 		eventsCap: cfg.EventsCap,
+		node:      cfg.Node,
+		tracing:   !cfg.DisableTracing,
+		slowReq:   cfg.SlowRequest,
+		startAt:   time.Now(),
+		workers:   cfg.Workers,
+		queueCap:  cfg.QueueDepth,
 	}
+	s.registerStageMetrics()
+	s.mgr = newManager(cfg.Workers, cfg.QueueDepth, reg, cfg.Logger, s)
 	s.registerMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -149,7 +210,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/load", s.handleLoad)
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	if cfg.Pprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -161,22 +225,34 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler: the API mux wrapped in
-// per-request structured logging (request IDs on every line).
+// per-request structured logging (request IDs on every line). A
+// well-formed inbound X-Request-Id is reused instead of minted, so one
+// request keeps one ID across proxy hops and both nodes' logs correlate;
+// the ID always comes back on the response header.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rid := fmt.Sprintf("r%d", s.reqSeq.Add(1))
+		rid := sanitizeRequestID(r.Header.Get(api.HeaderRequestID))
+		if rid == "" {
+			rid = fmt.Sprintf("r%d", s.reqSeq.Add(1))
+		}
+		w.Header().Set(api.HeaderRequestID, rid)
+		r = r.WithContext(withRequestID(r.Context(), rid))
 		lw := &loggingWriter{ResponseWriter: w}
 		start := time.Now()
 		s.mux.ServeHTTP(lw, r)
-		s.log.Info("request",
+		args := []any{
 			"request_id", rid,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", lw.status(),
 			"bytes", lw.bytes,
-			"dur_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"dur_ms", float64(time.Since(start)) / float64(time.Millisecond),
 			"remote", r.RemoteAddr,
-		)
+		}
+		if tid := lw.Header().Get(api.HeaderTraceID); tid != "" {
+			args = append(args, "trace_id", tid)
+		}
+		s.log.Info("request", args...)
 	})
 }
 
@@ -369,6 +445,7 @@ func filterError(err error) *api.Error {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	var req api.RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, &api.Error{
@@ -400,6 +477,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		sink = events.NewSink(events.Config{Cap: s.eventsCap})
 	}
 
+	// The request is valid: open (or join, via an inbound traceparent) its
+	// trace and surface the trace ID on the response so a client can fetch
+	// the timeline without parsing the body.
+	tr := s.newTrace(r)
+	now := time.Now()
+	tr.Span(stageValidate, t0, now, "bench", spec.Name)
+	s.observeStage(stageValidate, now.Sub(t0))
+	if tid := tr.TraceID(); tid != "" {
+		w.Header().Set(api.HeaderTraceID, tid)
+	}
+
 	key := simcache.Key(spec.Name, opt)
 	// Routing decision: with a cluster configured, a key another peer owns
 	// is proxied there so the fleet simulates each configuration exactly
@@ -421,6 +509,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if proxyTo != "" {
 			if view, ok := s.proxyRun(ctx, j, proxyTo, req); ok {
 				cluster.MProxied.Inc()
+				s.nProxied.Add(1)
 				j.prog.Begin(obs.PhaseDone, view.TotalRefs)
 				j.prog.Add(view.TotalRefs)
 				s.mgr.update(j, func(snap *api.JobView) {
@@ -437,17 +526,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if s.cluster != nil {
 			if fallback {
 				cluster.MFallback.Inc()
+				s.nFallback.Add(1)
 			} else {
 				cluster.MLocal.Inc()
+				s.nLocal.Add(1)
 			}
 		}
 		opt.Progress = j.prog
 		opt.Events = j.events // nil unless the request asked for capture
 		span := j.events.BeginSpan("resolve "+spec.Name, 0)
-		res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.Result, error) {
+		rstart := time.Now()
+		res, outcome, err := s.cache.DoStaged(ctx, key, func(ctx context.Context) (sim.Result, error) {
 			return sim.Run(ctx, sim.Spec{Workload: spec, Opts: opt, Engine: eng})
-		})
+		}, s.stageObserver(j))
+		rend := time.Now()
 		j.events.EndSpan(span, res.CPU.Cycles)
+		j.trace.Span(stageResolve, rstart, rend, "outcome", string(outcome))
+		s.observeStage(stageResolve, rend.Sub(rstart))
 		if err == nil && outcome != simcache.Miss {
 			// Cache-hit, disk-hit and joined jobs never drove this job's
 			// progress handle (the simulation ran elsewhere, or not at all):
@@ -464,7 +559,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 		return err
 	}
-	s.dispatch(w, r, "run", spec.Name, req.Async, sink, fn)
+	s.dispatch(w, r, "run", spec.Name, req.Async, sink, tr, t0, fn)
 }
 
 // proxyRun forwards a run request to the peer owning its key and returns
@@ -472,20 +567,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // routing terminates after one hop, synchronous, and without event
 // capture (the trace would live on the peer, not here). Returns ok=false
 // on any failure; the caller falls back to local compute.
+//
+// The hop propagates the request ID and this trace's traceparent, so the
+// peer joins the same trace; its spans come back inside the JobView and
+// are merged here — one request, one fleet-wide timeline.
 func (s *Server) proxyRun(ctx context.Context, j *job, owner string, req api.RunRequest) (*api.ResultView, bool) {
 	preq := req
 	preq.Async = false
 	preq.Events = false
 	preq.NoForward = true
+	if j.rid != "" {
+		ctx = api.WithRequestID(ctx, j.rid)
+	}
+	if tp := j.trace.Traceparent(); tp != "" {
+		ctx = api.WithTraceparent(ctx, tp)
+	}
 	span := j.events.BeginSpan("proxy "+owner, 0)
+	pstart := time.Now()
 	pj, err := s.cluster.Client(owner).Run(ctx, preq)
+	pend := time.Now()
 	j.events.EndSpan(span, 0)
 	if err != nil {
+		j.trace.Span(stageProxy, pstart, pend, "peer", owner, "error", err.Error())
+		s.observeStage(stageProxy, pend.Sub(pstart))
 		if ctx.Err() == nil {
 			s.log.Warn("cluster: proxy failed, computing locally", "owner", owner, "err", err)
 		}
 		return nil, false
 	}
+	if pj.Trace != nil {
+		j.trace.Merge(spansFromView(pj.Trace))
+	}
+	j.trace.Span(stageProxy, pstart, pend, "peer", owner, "peer_job", pj.ID)
+	s.observeStage(stageProxy, pend.Sub(pstart))
 	if pj.Result == nil {
 		s.log.Warn("cluster: peer answered without a result, computing locally", "owner", owner, "job", pj.ID)
 		return nil, false
@@ -547,6 +661,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	id := r.PathValue("id")
 	exp, err := experiments.ByID(id)
 	if err != nil {
@@ -588,6 +703,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := s.newTrace(r)
+	now := time.Now()
+	tr.Span(stageValidate, t0, now, "experiment", id)
+	s.observeStage(stageValidate, now.Sub(t0))
+	if tid := tr.TraceID(); tid != "" {
+		w.Header().Set(api.HeaderTraceID, tid)
+	}
+
 	fn := func(ctx context.Context, j *job) error {
 		rn := experiments.NewRunner()
 		rn.Cache = s.cache
@@ -607,23 +730,31 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			rn.Benches = req.Benches
 		}
 		rn.Sampling = samplingPolicy(req.Sampling)
+		rstart := time.Now()
 		tables := exp.Run(rn)
+		rend := time.Now()
+		j.trace.Span(stageResolve, rstart, rend, "experiment", id)
+		s.observeStage(stageResolve, rend.Sub(rstart))
 		s.mgr.update(j, func(snap *api.JobView) { snap.Tables = tableViews(tables) })
 		return nil
 	}
-	s.dispatch(w, r, "experiment", id, req.Async, nil, fn)
+	s.dispatch(w, r, "experiment", id, req.Async, nil, tr, t0, fn)
 }
 
 // dispatch submits a job and replies: async jobs get an immediate 202
 // snapshot, synchronous jobs block until done (the request context is the
 // job's context, so a disconnected client cancels the work). sink, when
-// non-nil, becomes the job's event capture (served by /v1/jobs/{id}/events).
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target string, async bool, sink *events.Sink, fn func(context.Context, *job) error) {
+// non-nil, becomes the job's event capture (served by /v1/jobs/{id}/events);
+// tr, when non-nil, is the request's trace — dispatch closes it out with
+// the ingress root span (handler entry to job completion) and, on the
+// synchronous path, a respond span around the body write. t0 is handler
+// entry.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target string, async bool, sink *events.Sink, tr *telemetry.Trace, t0 time.Time, fn func(context.Context, *job) error) {
 	parent := r.Context()
 	if async {
 		parent = nil // detach from the request; lives until done or cancelled
 	}
-	j, err := s.mgr.submit(kind, target, parent, sink, fn)
+	j, err := s.mgr.submit(kind, target, parent, sink, tr, requestIDFrom(r.Context()), fn)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, &api.Error{Code: api.CodeQueueFull, Message: err.Error()})
@@ -636,11 +767,22 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target s
 		return
 	}
 	if async {
+		// The ingress extent of an async request is just intake; the work's
+		// own spans land as the job runs and are served by /trace later.
+		now := time.Now()
+		tr.Root(stageIngress, t0, now, "async", "true")
+		s.observeStage(stageIngress, now.Sub(t0))
 		writeJSON(w, http.StatusAccepted, s.mgr.snapshot(j))
 		return
 	}
 	<-j.done
+	// Root recorded before the snapshot is taken, so a proxied caller
+	// receives this node's full extent inside the JobView it merges.
+	now := time.Now()
+	tr.Root(stageIngress, t0, now)
+	s.observeStage(stageIngress, now.Sub(t0))
 	snap := s.mgr.snapshot(j)
+	rstart := time.Now()
 	switch snap.Status {
 	case api.StatusDone:
 		writeJSON(w, http.StatusOK, snap)
@@ -655,6 +797,9 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind, target s
 			Message: fmt.Sprintf("job %s failed: %s", snap.ID, snap.Error),
 		})
 	}
+	rend := time.Now()
+	tr.Span(stageRespond, rstart, rend)
+	s.observeStage(stageRespond, rend.Sub(rstart))
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

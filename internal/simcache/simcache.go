@@ -95,6 +95,19 @@ type Stats struct {
 	Wall     time.Duration // total wall time of completed runs
 }
 
+// Stage names a flight reports to its creator's StageFunc, in execution
+// order: the durable-tier probe, the simulation itself (skipped on a disk
+// hit), and the write-through persist.
+const (
+	StageProbeDisk = "probe_disk"
+	StageSimulate  = "simulate"
+	StagePersist   = "persist"
+)
+
+// StageFunc observes one completed stage of a flight: its name and wall
+// extent. Called from the flight goroutine, in stage order.
+type StageFunc func(stage string, start, end time.Time)
+
 // flight is one in-progress simulation and the callers waiting on it.
 type flight struct {
 	waiters int // callers still interested; guarded by Store.mu
@@ -102,7 +115,8 @@ type flight struct {
 	done    chan struct{}
 	res     sim.Result // set before done closes
 	err     error
-	disk    bool // satisfied by the tier, not a simulation
+	disk    bool      // satisfied by the tier, not a simulation
+	onStage StageFunc // creator's stage observer; nil when untraced
 }
 
 // Store is the cache. Use New; the zero value is not ready.
@@ -166,6 +180,15 @@ func (s *Store) Stats() Stats {
 // flight answered from the tier reports Disk to its creator (callers who
 // attached mid-flight still report Joined).
 func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (sim.Result, error)) (sim.Result, Outcome, error) {
+	return s.DoStaged(ctx, key, fn, nil)
+}
+
+// DoStaged is Do with a stage observer: when this call creates the
+// flight, onStage receives each completed stage (probe_disk, simulate,
+// persist) with its wall extent. Callers that join an existing flight
+// never see its stages — the work is attributed to the request that
+// started it.
+func (s *Store) DoStaged(ctx context.Context, key string, fn func(context.Context) (sim.Result, error), onStage StageFunc) (sim.Result, Outcome, error) {
 	s.mu.Lock()
 	if res, ok := s.results[key]; ok {
 		s.stats.Hits++
@@ -181,7 +204,7 @@ func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (si
 	} else {
 		outcome = Miss
 		fctx, cancel := context.WithCancel(context.Background())
-		f = &flight{cancel: cancel, done: make(chan struct{})}
+		f = &flight{cancel: cancel, done: make(chan struct{}), onStage: onStage}
 		s.inflight[key] = f
 		s.stats.Misses++
 		mMisses.Inc()
@@ -215,15 +238,24 @@ func (s *Store) run(key string, f *flight, fctx context.Context, fn func(context
 	tier := s.tier
 	s.mu.Unlock()
 
+	observe := func(stage string, start time.Time) {
+		if f.onStage != nil {
+			f.onStage(stage, start, time.Now())
+		}
+	}
 	start := time.Now()
 	var res sim.Result
 	var err error
 	fromDisk := false
 	if tier != nil {
+		t0 := time.Now()
 		res, fromDisk = tier.Get(key)
+		observe(StageProbeDisk, t0)
 	}
 	if !fromDisk {
+		t0 := time.Now()
 		res, err = fn(fctx)
+		observe(StageSimulate, t0)
 	}
 	f.cancel()
 
@@ -247,7 +279,9 @@ func (s *Store) run(key string, f *flight, fctx context.Context, fn func(context
 		// Write-through before waiters wake, so "the job finished" implies
 		// "the result is durable" — restart-durability tests and operators
 		// can rely on it.
+		t0 := time.Now()
 		_ = tier.Put(key, res) // tier logs its own failures; losing a write only costs durability
+		observe(StagePersist, t0)
 	}
 	close(f.done)
 }

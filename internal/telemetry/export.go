@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// jsonlSpan is the JSONL wire form of one span: one object per line,
+// microsecond timestamps, flat attribute map.
+type jsonlSpan struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id,omitempty"`
+	Name    string            `json:"name"`
+	Node    string            `json:"node"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL renders spans as one JSON object per line, ordered by start
+// time (ties broken by node then name, so output is deterministic).
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range sortedSpans(spans) {
+		if err := enc.Encode(jsonlSpan{
+			TraceID: sp.TraceID,
+			SpanID:  sp.SpanID,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			Node:    sp.Node,
+			StartUS: sp.Start.UnixMicro(),
+			DurUS:   sp.End.Sub(sp.Start).Microseconds(),
+			Attrs:   sp.Attrs,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON (open with
+// https://ui.perfetto.dev): one "process" per node, every span a complete
+// slice on the node's track, timestamps relative to the earliest span so
+// the trace starts at zero. The same envelope internal/events emits, so
+// the two trace families open in the same viewer.
+func WriteChromeTrace(w io.Writer, traceID string, spans []Span) error {
+	spans = sortedSpans(spans)
+
+	// Stable node -> pid assignment: sorted node names, pids from 1.
+	nodeSet := map[string]bool{}
+	for _, sp := range spans {
+		nodeSet[sp.Node] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	pids := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		pids[n] = i + 1
+	}
+
+	var t0 time.Time
+	for i, sp := range spans {
+		if i == 0 || sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+	}
+
+	var tes []map[string]any
+	for _, n := range nodes {
+		tes = append(tes, map[string]any{
+			"ph": "M", "pid": pids[n], "tid": 1, "ts": 0,
+			"name": "process_name", "args": map[string]any{"name": fmt.Sprintf("node %s", n)},
+		})
+	}
+	for _, sp := range spans {
+		args := map[string]any{
+			"trace_id": traceID,
+			"span_id":  sp.SpanID,
+		}
+		if sp.Parent != "" {
+			args["parent_id"] = sp.Parent
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		tes = append(tes, map[string]any{
+			"ph": "X", "pid": pids[sp.Node], "tid": 1,
+			"ts":   sp.Start.Sub(t0).Microseconds(),
+			"dur":  sp.End.Sub(sp.Start).Microseconds(),
+			"name": sp.Name, "args": args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, te := range tes {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(te)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// sortedSpans returns a copy ordered by start time (then node, then
+// name) so exports are deterministic regardless of record/merge order.
+func sortedSpans(spans []Span) []Span {
+	out := append([]Span(nil), spans...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -153,6 +153,111 @@ type ClusterView struct {
 	Peers []string `json:"peers"`
 }
 
+// StageLatency is one request stage's latency summary inside a
+// LoadReport: observation count plus estimated p50/p99 in seconds.
+type StageLatency struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// LoadReport is the body of GET /v1/load: one node's instantaneous
+// load/saturation signals. Peers poll it on the cluster probe loop (a 200
+// doubles as the liveness signal), and it is the input the future
+// admission-and-placement layer keys off.
+type LoadReport struct {
+	// Node is the reporting node's identity (its cluster peer URL when
+	// clustered).
+	Node string `json:"node"`
+
+	// Queue and worker occupancy.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Running       int `json:"running"`
+	Workers       int `json:"workers"`
+	// InflightRuns counts simulations currently executing in the result
+	// cache (deduplicated across waiting callers).
+	InflightRuns int `json:"inflight_runs"`
+
+	// Throughput.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	RefsTotal     uint64  `json:"refs_total"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+
+	// Cache effectiveness, each in [0, 1] over this node's lifetime
+	// lookups: memory hits, disk-tier hits, and the fraction of routed
+	// run requests answered by proxying to the owning peer.
+	MemHitRatio  float64 `json:"mem_hit_ratio"`
+	DiskHitRatio float64 `json:"disk_hit_ratio"`
+	ProxiedRatio float64 `json:"proxied_ratio"`
+
+	// Durable tier footprint (zero when no store is attached).
+	StoreEntries int   `json:"store_entries,omitempty"`
+	StoreBytes   int64 `json:"store_bytes,omitempty"`
+
+	// Saturation is the node's own 0–1 load score (see
+	// cluster.Saturation).
+	Saturation float64 `json:"saturation"`
+
+	// Stages summarises per-stage request latency (tkserve_stage_seconds)
+	// for stages that have observations.
+	Stages map[string]StageLatency `json:"stages,omitempty"`
+}
+
+// PeerStatus is one peer's row in the aggregated fleet view.
+type PeerStatus struct {
+	URL  string `json:"url"`
+	Self bool   `json:"self,omitempty"`
+	Up   bool   `json:"up"`
+	// Saturation is the cluster-derived 0–1 load score: the peer's own
+	// report for live peers, 1 for peers believed down.
+	Saturation float64 `json:"saturation"`
+	// OwnershipShare is the fraction of the key ring this peer owns.
+	OwnershipShare float64 `json:"ownership_share"`
+	// Load is the peer's last polled report (absent until first poll, and
+	// for down peers whose report has gone stale).
+	Load *LoadReport `json:"load,omitempty"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster/status: the answering
+// node's aggregated fleet view — ring ownership, probed health, and
+// per-peer saturation.
+type ClusterStatus struct {
+	Self  string       `json:"self"`
+	Peers []PeerStatus `json:"peers"`
+}
+
+// SpanView is one completed span of a request trace.
+type SpanView struct {
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Node     string            `json:"node"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceView is a request's distributed trace: every span recorded for the
+// job so far, across every node that touched it. Proxied requests carry
+// the owning peer's spans merged under the same trace ID.
+type TraceView struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanView `json:"spans"`
+}
+
+// BuildInfo identifies the running binary (from debug.ReadBuildInfo).
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
 // Capabilities is the body of GET /v1/capabilities: the single source of
 // truth for what this server (or, via caps.Local, this binary) can be
 // asked for — accepted enum values for run requests, the benchmark suite,
@@ -180,6 +285,9 @@ type Capabilities struct {
 	// Cluster is present when the server shards work across a peer
 	// fleet.
 	Cluster *ClusterView `json:"cluster,omitempty"`
+	// Build identifies the binary answering (version, VCS revision, Go
+	// toolchain).
+	Build *BuildInfo `json:"build,omitempty"`
 }
 
 // JobView is the externally visible snapshot of one queued simulation or
@@ -202,6 +310,14 @@ type JobView struct {
 	Result *ResultView `json:"result,omitempty"` // run jobs
 	Tables []Table     `json:"tables,omitempty"` // experiment jobs
 	Error  string      `json:"error,omitempty"`
+
+	// TraceID is the request's distributed trace identifier; Trace is the
+	// span timeline recorded so far (this node's stages, plus the owning
+	// peer's merged in for proxied runs). Both are absent when the server
+	// runs with tracing disabled. GET /v1/jobs/{id}/trace exports the
+	// same timeline as JSONL or Chrome trace-event JSON.
+	TraceID string     `json:"trace_id,omitempty"`
+	Trace   *TraceView `json:"trace,omitempty"`
 }
 
 // Progress is a point-in-time view of a job's simulation progress.

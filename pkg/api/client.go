@@ -87,6 +87,50 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
+// ctxKey keys the propagation values carried through a request context.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTraceparent
+)
+
+// Propagation headers. Servers reuse an inbound X-Request-Id instead of
+// minting fresh, and join an inbound traceparent's trace, so fleet-wide
+// logs and traces for one request correlate across proxy hops.
+const (
+	HeaderRequestID   = "X-Request-Id"
+	HeaderTraceparent = "traceparent"
+	// HeaderTraceID is set by the server on run responses, carrying the
+	// trace ID it minted (or joined) for the request.
+	HeaderTraceID = "X-Trace-Id"
+)
+
+// WithRequestID returns a context that stamps every client request made
+// with it with the X-Request-Id header.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// WithTraceparent returns a context that stamps every client request made
+// with it with the W3C traceparent header, so the receiving node joins
+// the caller's distributed trace.
+func WithTraceparent(ctx context.Context, header string) context.Context {
+	return context.WithValue(ctx, ctxKeyTraceparent, header)
+}
+
+// applyPropagation copies the context-carried correlation values onto an
+// outbound request's headers.
+func applyPropagation(req *http.Request) {
+	ctx := req.Context()
+	if id, ok := ctx.Value(ctxKeyRequestID).(string); ok && id != "" {
+		req.Header.Set(HeaderRequestID, id)
+	}
+	if tp, ok := ctx.Value(ctxKeyTraceparent).(string); ok && tp != "" {
+		req.Header.Set(HeaderTraceparent, tp)
+	}
+}
+
 // Run submits a synchronous run and blocks until it finishes. Canceling
 // ctx disconnects the request, which cancels the simulation server-side
 // (unless other clients are attached to the same in-flight run).
@@ -159,6 +203,52 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobView, error) {
 	return &j, nil
 }
 
+// Load fetches the server's instantaneous load/saturation report.
+func (c *Client) Load(ctx context.Context) (*LoadReport, error) {
+	var rep LoadReport
+	if err := c.do(ctx, http.MethodGet, "/v1/load", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// ClusterStatus fetches the server's aggregated fleet view: ring
+// ownership, probed peer health, and per-peer saturation. A single-node
+// server answers with a one-peer fleet.
+func (c *Client) ClusterStatus(ctx context.Context) (*ClusterStatus, error) {
+	var st ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/status", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JobTrace downloads a job's distributed request trace into w. format is
+// "chrome" (Perfetto-compatible trace-event JSON; also the default when
+// empty) or "jsonl" (one span per line). The server must have tracing
+// enabled (it is by default).
+func (c *Client) JobTrace(ctx context.Context, id, format string, w io.Writer) error {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "/trace"
+	if format != "" {
+		u += "?format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	applyPropagation(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // JobEvents downloads a job's generation-event trace into w. format is
 // "chrome" (Perfetto-compatible trace-event JSON; also the default when
 // empty) or "jsonl" (compact one-event-per-line stream). The job must have
@@ -173,6 +263,7 @@ func (c *Client) JobEvents(ctx context.Context, id, format string, w io.Writer) 
 	if err != nil {
 		return err
 	}
+	applyPropagation(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -199,6 +290,7 @@ func (c *Client) WatchProgress(ctx context.Context, id string, fn func(ProgressE
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	applyPropagation(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -308,6 +400,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, blob []byte, h
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	applyPropagation(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
